@@ -1,0 +1,27 @@
+"""Benchmark: extension — walltime-estimate sensitivity sweep."""
+
+import numpy as np
+from conftest import SCALE, save_report
+
+from repro.experiments import estimate_sensitivity
+
+
+def test_estimate_sensitivity(benchmark, report_dir):
+    rows = benchmark.pedantic(
+        lambda: estimate_sensitivity.run(SCALE), rounds=1, iterations=1
+    )
+    text = estimate_sensitivity.report(rows)
+    save_report(report_dir, "estimate_sensitivity", text)
+
+    assert [r.factor for r in rows] == list(
+        estimate_sensitivity.OVERESTIMATE_FACTORS
+    )
+    for row in rows:
+        for avg_wait, max_wait, util in row.metrics.values():
+            assert np.isfinite(avg_wait) and avg_wait >= 0
+            assert np.isfinite(max_wait) and max_wait >= 0
+            assert 0 <= util <= 1
+    # both methods keep scheduling sanely even with perfect estimates
+    # (factor 0 removes all backfill slack for long jobs)
+    perfect = rows[0]
+    assert all(m[0] > 0 for m in perfect.metrics.values())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Capacity-computing scenario: fast turnaround on a Cori-like system.
+
+Capacity facilities like NERSC's Cori serve huge volumes of small jobs
+and care about turnaround time.  The paper switches DRAS to the
+capacity reward (Eq. 2), which penalizes keeping short jobs in the
+queue, and trains DRAS-DQL on Cori's workload.
+
+This example builds a Cori-like workload (1-node jobs dominating, 7-day
+runtime cap), trains DRAS-DQL with the capacity objective, and compares
+job turnaround against FCFS and the knapsack Optimization baseline.
+
+Run::
+
+    python examples/capacity_cori.py
+"""
+
+import numpy as np
+
+from repro import CoriModel, DRASConfig, DRASDQL, FCFSEasy, KnapsackOptimization
+from repro.analysis import evaluate_method
+from repro.rl import Trainer
+from repro.workload import three_phase_curriculum
+
+NODES = 192
+
+
+def main() -> None:
+    rng = np.random.default_rng(2)
+    model = CoriModel.scaled(NODES)
+    train_trace = model.generate(2000, rng)
+    validation_trace = model.generate(400, rng)
+    test_trace = model.generate(1000, rng)
+
+    config = DRASConfig.scaled(
+        NODES,
+        objective="capacity",                 # Eq. (2)
+        window=12,
+        time_scale=CoriModel.MAX_RUNTIME,
+    )
+    agent = DRASDQL(config)
+    print(f"DRAS-DQL network: {config.dql_dims} "
+          f"({config.dql_dims.param_count:,} parameters), objective=capacity")
+
+    phases = three_phase_curriculum(
+        model, train_trace, rng,
+        n_sampled=3, n_real=3, n_synthetic=6, jobs_per_set=300,
+    )
+    trainer = Trainer(agent, NODES, validation_jobs=validation_trace)
+    history = trainer.train(
+        [(p.name, jobset) for p in phases for jobset in p.jobsets]
+    )
+    print(f"trained {len(history.episodes)} episodes; "
+          f"final epsilon = {agent.epsilon:.3f}")
+
+    agent.eval(online_learning=True)
+    print("\nturnaround comparison (Cori-like capacity workload):")
+    header = (f"{'policy':14s} {'avg wait':>10s} {'avg response':>13s} "
+              f"{'avg slowdown':>13s} {'utilization':>12s}")
+    print(header)
+    print("-" * len(header))
+    for scheduler in (FCFSEasy(), KnapsackOptimization("capacity"), agent):
+        res = evaluate_method(scheduler, test_trace, NODES)
+        m = res.metrics
+        print(f"{res.name:14s} {m.avg_wait / 3600:9.2f}h "
+              f"{m.avg_response / 3600:12.2f}h {m.avg_slowdown:13.2f} "
+              f"{m.utilization:12.3f}")
+
+    print(
+        "\nWith the Eq. (2) objective the learned policy drains short jobs "
+        "quickly\n(a shortest-job-first flavour), cutting average wait and "
+        "slowdown relative\nto arrival-order scheduling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Extending the system: a custom reward and a custom scheduler.
+
+The DRAS agents accept *any* reward function with the
+``(selected, waiting, cluster, now)`` signature, and the simulator
+accepts any object with a ``schedule(view)`` method — so site policies
+beyond the paper's two objectives are a few lines of code.  This
+example adds:
+
+* ``FairShareReward`` — rewards balancing node-hours across users;
+* ``ShortestJobFirst`` — a classic SJF heuristic with EASY backfilling,
+  built from the same primitives as the bundled FCFS policy;
+
+and evaluates DRAS-PG trained on the custom reward against SJF and
+FCFS.
+
+Run::
+
+    python examples/custom_policy.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import DRASConfig, DRASPG, FCFSEasy, ThetaModel
+from repro.analysis import evaluate_method
+from repro.rl import Trainer
+from repro.schedulers.base import BaseScheduler
+
+NODES = 128
+
+
+class FairShareReward:
+    """Reward high when recent node-hours are spread across users.
+
+    One minus the normalized Herfindahl concentration of the selected
+    jobs' node-seconds per user, blended with the utilization term that
+    keeps the agent packing.
+    """
+
+    def __init__(self, utilization_weight: float = 0.5) -> None:
+        self.utilization_weight = utilization_weight
+
+    def __call__(self, selected, waiting, cluster, now) -> float:
+        fairness = 1.0
+        if selected:
+            per_user: dict[str, float] = defaultdict(float)
+            for job in selected:
+                per_user[job.user or "anon"] += job.node_seconds
+            total = sum(per_user.values())
+            shares = np.array([v / total for v in per_user.values()])
+            herfindahl = float(np.sum(shares**2))       # 1/k .. 1
+            fairness = 1.0 - herfindahl
+        utilization = cluster.used_nodes / cluster.num_nodes
+        w = self.utilization_weight
+        return (1 - w) * fairness + w * utilization
+
+
+class ShortestJobFirst(BaseScheduler):
+    """SJF with EASY backfilling: order by walltime estimate."""
+
+    name = "SJF"
+
+    def schedule(self, view) -> None:
+        while True:
+            order = sorted(view.waiting(), key=lambda j: j.walltime)
+            if not order:
+                return
+            head = order[0]
+            if head.size <= view.free_nodes:
+                view.start(head)
+                continue
+            view.reserve(head)
+            break
+        while True:
+            candidates = view.backfill_candidates()
+            if not candidates:
+                return
+            view.start(min(candidates, key=lambda j: j.walltime))
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    model = ThetaModel.scaled(NODES)
+    # attach synthetic users so fair-share means something
+    train_trace = model.generate(1200, rng)
+    test_trace = model.generate(800, rng)
+    for trace in (train_trace, test_trace):
+        for job in trace:
+            job.user = f"user{int(rng.integers(6))}"
+
+    config = DRASConfig.scaled(NODES, objective="capability", window=10)
+    agent = DRASPG(config, reward=FairShareReward())
+    agent.name = "DRAS-fair"
+    trainer = Trainer(agent, NODES)
+    for episode in range(8):
+        trainer.run_episode(train_trace)
+    agent.eval(online_learning=True)
+
+    print("custom objective + custom heuristic on the same trace:\n")
+    header = (f"{'policy':10s} {'avg wait':>10s} {'max wait':>10s} "
+              f"{'slowdown':>9s} {'utilization':>12s}")
+    print(header)
+    print("-" * len(header))
+    for scheduler in (FCFSEasy(), ShortestJobFirst(), agent):
+        res = evaluate_method(scheduler, test_trace, NODES)
+        m = res.metrics
+        print(f"{res.name:10s} {m.avg_wait / 3600:9.2f}h "
+              f"{m.max_wait / 3600:9.1f}h {m.avg_slowdown:9.2f} "
+              f"{m.utilization:12.3f}")
+
+    print(
+        "\nEverything here — the reward, the heuristic, the agent — went "
+        "through the\nsame public interfaces the bundled policies use: "
+        "BaseScheduler.schedule(view)\nand the reward callable."
+    )
+
+
+if __name__ == "__main__":
+    main()

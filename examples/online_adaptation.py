@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Online adaptation to workload surges (the paper's §V-D / Fig 9).
+
+A deployed DRAS agent keeps updating its network parameters during
+operation, so when demand surges it re-tunes itself while static
+policies (FCFS, Optimization) degrade.  This example replays an
+8-week trace whose weeks 2 and 5 carry ~1.7-1.8x the normal load, and
+prints the weekly average wait under a static FCFS, a *frozen* DRAS-PG
+(online learning off) and an *adaptive* DRAS-PG (online learning on) —
+all starting from the identical trained model.
+
+Run::
+
+    python examples/online_adaptation.py
+"""
+
+import numpy as np
+
+from repro import DRASConfig, DRASPG, FCFSEasy, ThetaModel
+from repro.rl import Trainer
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.metrics import SECONDS_PER_WEEK, weekly_series
+from repro.workload import three_phase_curriculum
+
+NODES = 128
+WEEKLY_LOAD = (1.0, 0.9, 1.7, 1.0, 0.85, 1.8, 1.1, 1.0)
+
+
+def build_surge_trace(model, rng):
+    jobs = []
+    for week, load in enumerate(WEEKLY_LOAD):
+        jobs.extend(
+            model.generate_span(
+                SECONDS_PER_WEEK, rng,
+                start=week * SECONDS_PER_WEEK, load_factor=load,
+            )
+        )
+    jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+    return jobs
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    model = ThetaModel.scaled(NODES)
+    train_trace = model.generate(1500, rng)
+
+    config = DRASConfig.scaled(NODES, objective="capability", window=10)
+    agent = DRASPG(config)
+    phases = three_phase_curriculum(
+        model, train_trace, rng,
+        n_sampled=2, n_real=2, n_synthetic=6, jobs_per_set=300,
+    )
+    Trainer(agent, NODES).train(
+        [(p.name, jobset) for p in phases for jobset in p.jobsets]
+    )
+    trained_state = agent.state_dict()
+
+    trace = build_surge_trace(model, np.random.default_rng(99))
+    print(f"surge trace: {len(trace)} jobs over {len(WEEKLY_LOAD)} weeks "
+          f"(weeks 2 and 5 carry ~1.7-1.8x load)\n")
+
+    frozen = DRASPG(config)
+    frozen.load_state_dict(trained_state)
+    frozen.name = "DRAS frozen"
+    frozen.eval(online_learning=False)
+
+    adaptive = DRASPG(config)
+    adaptive.load_state_dict(trained_state)
+    adaptive.name = "DRAS adaptive"
+    adaptive.eval(online_learning=True)
+
+    series = {}
+    for scheduler in (FCFSEasy(), frozen, adaptive):
+        result = Engine(
+            Cluster(NODES), scheduler, [j.copy_fresh() for j in trace]
+        ).run()
+        series[scheduler.name] = weekly_series(result.finished_jobs)
+
+    methods = list(series)
+    print(f"{'week':>4s} {'load':>5s} " +
+          " ".join(f"{m:>14s}" for m in methods))
+    for week, load in enumerate(WEEKLY_LOAD):
+        cells = []
+        for m in methods:
+            waits = series[m]["avg_wait"]
+            value = waits[week] / 3600 if week < len(waits) else float("nan")
+            cells.append(f"{value:13.2f}h")
+        print(f"{week:4d} {load:5.2f} " + " ".join(cells))
+
+    print("\nThe adaptive agent re-tunes during the surge weeks; compare its "
+          "surge-week\nwaits against the frozen copy of the same model and "
+          "against static FCFS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline interpreter ships setuptools 65 but no ``wheel``, so PEP 660
+editable installs fail; keeping a ``setup.py`` lets pip fall back to the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

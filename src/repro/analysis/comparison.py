@@ -1,0 +1,129 @@
+"""Method-comparison helpers used by the figure/table experiments.
+
+The paper's Fig 6 Kiviat graphs plot, for each method, the *reciprocal*
+of average wait, maximum wait, average slowdown and average response
+time, plus the system utilization, all normalized to [0, 1] where 1 is
+the best method and 0 the worst.  :func:`kiviat_normalize` implements
+exactly that transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine, SimulationResult
+from repro.sim.job import Job, JobState
+from repro.sim.metrics import ModeBreakdown, RunMetrics
+
+
+@dataclass
+class MethodResult:
+    """Everything one evaluated method produced."""
+
+    name: str
+    result: SimulationResult
+    metrics: RunMetrics
+    modes: ModeBreakdown
+
+    @property
+    def jobs(self) -> list[Job]:
+        return self.result.finished_jobs
+
+
+def evaluate_method(
+    scheduler,
+    jobs: list[Job],
+    num_nodes: int,
+    observers=(),
+    slowdown_bound: float = 0.0,
+) -> MethodResult:
+    """Run one scheduler over a fresh copy of ``jobs`` and summarize."""
+    engine = Engine(
+        Cluster(num_nodes),
+        scheduler,
+        [j.copy_fresh() for j in jobs],
+        observers=list(observers),
+    )
+    result = engine.run()
+    return MethodResult(
+        name=scheduler.name,
+        result=result,
+        metrics=RunMetrics.from_result(result, slowdown_bound=slowdown_bound),
+        modes=ModeBreakdown.from_jobs(result.jobs),
+    )
+
+
+#: Fig 6 metric set: (label, extractor, higher_is_better)
+KIVIAT_METRICS: tuple[tuple[str, str, bool], ...] = (
+    ("1/avg wait", "avg_wait", False),
+    ("1/max wait", "max_wait", False),
+    ("1/avg slowdown", "avg_slowdown", False),
+    ("1/avg response", "avg_response", False),
+    ("utilization", "utilization", True),
+)
+
+
+def kiviat_normalize(results: list[MethodResult]) -> dict[str, dict[str, float]]:
+    """Per-method normalized Kiviat values (Fig 6).
+
+    For lower-is-better metrics the reciprocal is taken first; then all
+    values are min-max normalized across methods so 1 is the best and 0
+    the worst.  Returns ``{method: {metric_label: value}}``.
+    """
+    if not results:
+        raise ValueError("no results to normalize")
+    out: dict[str, dict[str, float]] = {r.name: {} for r in results}
+    for label, attr, higher_better in KIVIAT_METRICS:
+        raw = np.array([getattr(r.metrics, attr) for r in results], dtype=np.float64)
+        if not higher_better:
+            raw = 1.0 / np.maximum(raw, 1e-12)
+        lo, hi = raw.min(), raw.max()
+        span = hi - lo
+        for r, v in zip(results, raw):
+            out[r.name][label] = float((v - lo) / span) if span > 0 else 1.0
+    return out
+
+
+def kiviat_area(values: dict[str, float]) -> float:
+    """Area of the Kiviat polygon — "the larger the area, the better".
+
+    Vertices are placed on equally-spaced spokes; the area is the sum of
+    the triangle areas between consecutive spokes.
+    """
+    v = np.array(list(values.values()), dtype=np.float64)
+    n = v.size
+    if n < 3:
+        raise ValueError("a Kiviat polygon needs at least 3 metrics")
+    angle = 2 * np.pi / n
+    return float(0.5 * np.sin(angle) * np.sum(v * np.roll(v, -1)))
+
+
+def starvation_summary(
+    results: list[MethodResult],
+    large_job_threshold: int,
+    starvation_days: float = 30.0,
+) -> dict[str, dict[str, float]]:
+    """Large-job starvation indicators per method (Fig 7 analysis).
+
+    Reports each method's maximum wait (days), the mean wait of large
+    jobs versus small jobs (hours) and the count of jobs waiting longer
+    than ``starvation_days``.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for r in results:
+        finished = [j for j in r.result.jobs if j.state is JobState.FINISHED]
+        large = [j.wait_time for j in finished if j.size >= large_job_threshold]
+        small = [j.wait_time for j in finished if j.size < large_job_threshold]
+        waits = [j.wait_time for j in finished]
+        out[r.name] = {
+            "max_wait_days": max(waits, default=0.0) / 86400.0,
+            "large_avg_wait_h": float(np.mean(large)) / 3600.0 if large else 0.0,
+            "small_avg_wait_h": float(np.mean(small)) / 3600.0 if small else 0.0,
+            "starved_jobs": float(
+                sum(1 for w in waits if w > starvation_days * 86400.0)
+            ),
+        }
+    return out

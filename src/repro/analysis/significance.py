@@ -1,0 +1,116 @@
+"""Bootstrap statistics for method comparisons.
+
+Per-job scheduling metrics are heavy-tailed (a handful of near-starved
+jobs dominate the mean), so point estimates of "method A beats method
+B by X%" deserve uncertainty quantification.  These helpers provide
+percentile-bootstrap confidence intervals for a metric mean and for the
+difference between two methods on paired traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with its bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def excludes_zero(self) -> bool:
+        """True when the CI does not straddle zero (a significant sign)."""
+        return self.low > 0 or self.high < 0
+
+    def __str__(self) -> str:  # pragma: no cover - formatting sugar
+        pct = int(round(self.confidence * 100))
+        return f"{self.estimate:.3g} [{self.low:.3g}, {self.high:.3g}] ({pct}% CI)"
+
+
+def bootstrap_mean(
+    values: np.ndarray | list[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI of the mean of ``values``."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(x.size, size=(n_resamples, x.size))
+    means = x[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=float(x.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def bootstrap_mean_difference(
+    a: np.ndarray | list[float],
+    b: np.ndarray | list[float],
+    paired: bool = True,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """CI of ``mean(a) - mean(b)``.
+
+    ``paired=True`` resamples job indices jointly — the right choice
+    when both methods scheduled the *same* trace, since per-job values
+    are then strongly correlated.
+    """
+    xa = np.asarray(a, dtype=np.float64)
+    xb = np.asarray(b, dtype=np.float64)
+    if xa.size == 0 or xb.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    if paired:
+        if xa.size != xb.size:
+            raise ValueError("paired bootstrap requires equal-length samples")
+        diffs = xa - xb
+        idx = rng.integers(diffs.size, size=(n_resamples, diffs.size))
+        stats = diffs[idx].mean(axis=1)
+        estimate = float(diffs.mean())
+    else:
+        ia = rng.integers(xa.size, size=(n_resamples, xa.size))
+        ib = rng.integers(xb.size, size=(n_resamples, xb.size))
+        stats = xa[ia].mean(axis=1) - xb[ib].mean(axis=1)
+        estimate = float(xa.mean() - xb.mean())
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=estimate,
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def compare_wait_times(
+    result_a, result_b, confidence: float = 0.95, seed: int = 0
+) -> BootstrapCI:
+    """CI of the per-job wait-time difference between two runs.
+
+    Both runs must have scheduled the same jobset (matching job ids);
+    waits are paired job-by-job.
+    """
+    waits_a = {j.job_id: j.wait_time for j in result_a.finished_jobs}
+    waits_b = {j.job_id: j.wait_time for j in result_b.finished_jobs}
+    common = sorted(set(waits_a) & set(waits_b))
+    if not common:
+        raise ValueError("runs share no finished jobs")
+    a = np.array([waits_a[i] for i in common])
+    b = np.array([waits_b[i] for i in common])
+    return bootstrap_mean_difference(a, b, paired=True, confidence=confidence,
+                                     seed=seed)

@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reproduce``
+    Regenerate any of the paper's tables/figures and print the report.
+``generate``
+    Synthesize a Theta/Cori-like trace and write it as SWF.
+``simulate``
+    Replay an SWF trace under a named policy and print the metrics.
+``train``
+    Train a DRAS/Decima agent with the three-phase curriculum and
+    checkpoint it.
+``evaluate``
+    Replay an SWF trace under a checkpointed agent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+EXPERIMENTS = (
+    "table1", "table2", "table3", "table4",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "overhead",
+)
+
+POLICIES = (
+    "fcfs", "binpacking", "random", "knapsack",
+    "sjf", "ljf", "saf", "wfp", "unicef", "conservative",
+)
+
+
+def make_policy(name: str, objective: str = "capability", seed: int = 0):
+    """Instantiate a named non-learning policy."""
+    from repro import schedulers as s
+
+    factories = {
+        "fcfs": s.FCFSEasy,
+        "binpacking": s.BinPacking,
+        "random": lambda: s.RandomScheduler(seed=seed),
+        "knapsack": lambda: s.KnapsackOptimization(objective),
+        "sjf": s.sjf,
+        "ljf": s.ljf,
+        "saf": s.smallest_area_first,
+        "wfp": s.f1_wfp,
+        "unicef": s.unicef,
+        "conservative": s.ConservativeBackfill,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {', '.join(POLICIES)}"
+        ) from None
+
+
+# -- subcommand implementations ------------------------------------------------
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    import importlib
+
+    if args.experiment == "all":
+        from repro.experiments.runner import combined_report, run_all
+
+        reports = run_all(
+            scale=args.scale,
+            seed=args.seed,
+            full_size_overhead=not args.scaled_overhead,
+            progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+        )
+        text = combined_report(reports, args.scale)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+        print(text)
+        return 0
+
+    module = importlib.import_module(f"repro.experiments.{args.experiment}")
+    if args.experiment in ("table1",):
+        result = module.run()
+    elif args.experiment in ("table3",):
+        result = module.run()
+    elif args.experiment == "overhead":
+        result = module.run(full_size=not args.scaled_overhead)
+    else:
+        result = module.run(args.scale, seed=args.seed)
+    text = module.report(result)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    print(text)
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workload import CoriModel, ThetaModel, write_swf
+
+    factory = ThetaModel if args.system == "theta" else CoriModel
+    model = factory.scaled(args.nodes) if args.nodes else factory.paper()
+    rng = np.random.default_rng(args.seed)
+    jobs = model.generate(args.jobs, rng, load_factor=args.load_factor)
+    write_swf(
+        jobs, args.out,
+        header=f"synthetic {model.name} trace, {args.jobs} jobs, seed {args.seed}",
+    )
+    print(f"wrote {len(jobs)} jobs ({model.name}) to {args.out}")
+    return 0
+
+
+def _print_metrics(name: str, result) -> None:
+    from repro.sim.metrics import RunMetrics
+
+    m = RunMetrics.from_result(result)
+    print(f"{name}:")
+    print(f"  jobs            {m.num_jobs}")
+    print(f"  avg wait        {m.avg_wait / 3600:.2f} h")
+    print(f"  max wait        {m.max_wait / 3600:.2f} h")
+    print(f"  avg response    {m.avg_response / 3600:.2f} h")
+    print(f"  avg slowdown    {m.avg_slowdown:.2f}")
+    print(f"  utilization     {m.utilization:.3f}")
+    print(f"  makespan        {m.makespan / 3600:.2f} h")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.engine import run_simulation
+    from repro.workload import read_swf
+
+    jobs = read_swf(args.trace, procs_per_node=args.procs_per_node,
+                    max_jobs=args.max_jobs)
+    if not jobs:
+        print("trace contains no usable jobs", file=sys.stderr)
+        return 1
+    policy = make_policy(args.policy, objective=args.objective, seed=args.seed)
+    result = run_simulation(args.nodes, policy, jobs)
+    _print_metrics(policy.name, result)
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.config import DRASConfig
+    from repro.core.persistence import save_agent
+    from repro.experiments.common import make_agent
+    from repro.rl.curriculum import train_with_curriculum
+    from repro.workload import CoriModel, ThetaModel
+
+    factory = ThetaModel if args.system == "theta" else CoriModel
+    model = factory.scaled(args.nodes)
+    objective = "capability" if args.system == "theta" else "capacity"
+    config = DRASConfig.scaled(
+        args.nodes, objective=objective, window=args.window,
+        time_scale=factory.MAX_RUNTIME, seed=args.seed,
+    )
+    agent = make_agent(args.agent, config)
+    rng = np.random.default_rng(args.seed)
+    base = model.generate(args.train_jobs, rng)
+    validation = model.generate(max(50, args.train_jobs // 5), rng)
+    history = train_with_curriculum(
+        agent, model, base, validation, rng,
+        n_sampled=args.sampled, n_real=args.real, n_synthetic=args.synthetic,
+        jobs_per_set=args.jobs_per_set,
+    )
+    save_agent(agent, args.out)
+    curve = history.validation_curve
+    print(f"trained {len(history.episodes)} episodes; validation reward "
+          f"{curve[0]:.1f} -> {curve[-1]:.1f} (best {curve.max():.1f})")
+    converged = history.converged_at()
+    print(f"converged at episode: {converged if converged is not None else 'never'}")
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    from repro.workload import analyze_trace, fit_model, read_swf, write_swf
+
+    jobs = read_swf(args.trace, procs_per_node=args.procs_per_node,
+                    max_jobs=args.max_jobs)
+    if len(jobs) < 2:
+        print("trace too small to fit", file=sys.stderr)
+        return 1
+    stats = analyze_trace(jobs, args.nodes)
+    print(f"analyzed {stats.num_jobs} jobs over "
+          f"{stats.span_seconds / 86400:.1f} days:")
+    print(f"  arrival rate      {stats.arrival_rate * 3600:.2f} jobs/h")
+    print(f"  runtime median    {stats.runtime_median / 3600:.2f} h "
+          f"(log-sigma {stats.runtime_log_sigma:.2f})")
+    print(f"  mean overestimate {stats.mean_overestimate:.2f}x")
+    print(f"  offered load      {stats.offered_load_per_node:.2f}")
+    print(f"  size categories   {len(stats.size_mix)}")
+    model = fit_model(jobs, args.nodes)
+    synthetic = model.generate(args.jobs, np.random.default_rng(args.seed))
+    write_swf(synthetic, args.out,
+              header=f"synthetic trace fitted from {args.trace}")
+    print(f"wrote {len(synthetic)} fitted synthetic jobs to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_agent
+    from repro.sim.engine import run_simulation
+    from repro.workload import read_swf
+
+    agent = load_agent(args.checkpoint)
+    agent.eval(online_learning=not args.frozen)
+    jobs = read_swf(args.trace, procs_per_node=args.procs_per_node,
+                    max_jobs=args.max_jobs)
+    if not jobs:
+        print("trace contains no usable jobs", file=sys.stderr)
+        return 1
+    result = run_simulation(agent.config.num_nodes, agent, jobs)
+    _print_metrics(agent.name, result)
+    return 0
+
+
+# -- parser -----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DRAS (IPDPS'21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    p.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    p.add_argument("--scale", default="default",
+                   help="tiny | default | paper (default: default)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="also write the report to this file")
+    p.add_argument("--scaled-overhead", action="store_true",
+                   help="overhead experiment: use a scaled network")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("generate", help="synthesize an SWF trace")
+    p.add_argument("system", choices=("theta", "cori"))
+    p.add_argument("jobs", type=int)
+    p.add_argument("--nodes", type=int, default=0,
+                   help="system size (default: the paper's full size)")
+    p.add_argument("--load-factor", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("simulate", help="replay an SWF trace under a policy")
+    p.add_argument("trace")
+    p.add_argument("--nodes", type=int, required=True)
+    p.add_argument("--policy", choices=POLICIES, default="fcfs")
+    p.add_argument("--objective", choices=("capability", "capacity"),
+                   default="capability")
+    p.add_argument("--procs-per-node", type=int, default=1)
+    p.add_argument("--max-jobs", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("train", help="train and checkpoint a DRAS agent")
+    p.add_argument("--system", choices=("theta", "cori"), default="theta")
+    p.add_argument("--agent", choices=("pg", "dql", "decima"), default="pg")
+    p.add_argument("--nodes", type=int, default=256)
+    p.add_argument("--window", type=int, default=16)
+    p.add_argument("--train-jobs", type=int, default=2000)
+    p.add_argument("--sampled", type=int, default=4)
+    p.add_argument("--real", type=int, default=4)
+    p.add_argument("--synthetic", type=int, default=12)
+    p.add_argument("--jobs-per-set", type=int, default=250)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "fit", help="fit a workload model to an SWF trace and resample it"
+    )
+    p.add_argument("trace")
+    p.add_argument("--nodes", type=int, required=True)
+    p.add_argument("--jobs", type=int, default=1000,
+                   help="synthetic jobs to generate from the fitted model")
+    p.add_argument("--procs-per-node", type=int, default=1)
+    p.add_argument("--max-jobs", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser("evaluate", help="replay a trace under a checkpointed agent")
+    p.add_argument("checkpoint")
+    p.add_argument("trace")
+    p.add_argument("--frozen", action="store_true",
+                   help="disable online learning during evaluation")
+    p.add_argument("--procs-per-node", type=int, default=1)
+    p.add_argument("--max-jobs", type=int, default=None)
+    p.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

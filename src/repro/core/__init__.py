@@ -1,0 +1,44 @@
+"""DRAS — the paper's primary contribution.
+
+This package implements the Deep Reinforcement Agent for Scheduling:
+
+* :mod:`repro.core.rewards` — the capability (Eq. 1) and capacity
+  (Eq. 2) reward functions;
+* :mod:`repro.core.state` — the job/node state encoding of §III-A;
+* :mod:`repro.core.config` — network and agent configuration, including
+  the exact Table III architectures;
+* :mod:`repro.core.agent` — the hierarchical two-level decision loop of
+  §III-B shared by both agents;
+* :mod:`repro.core.dras_pg` / :mod:`repro.core.dras_dql` — the policy
+  gradient and deep Q-learning variants;
+* :mod:`repro.core.decima` — the flat Decima-PG baseline (a policy
+  gradient agent without the hierarchical structure or reservations).
+"""
+
+from repro.core.rewards import (
+    CapabilityReward,
+    CapacityReward,
+    RewardFunction,
+    make_reward,
+)
+from repro.core.state import StateEncoder
+from repro.core.config import DRASConfig, NetworkDims, table3_configs
+from repro.core.agent import HierarchicalAgent
+from repro.core.dras_pg import DRASPG
+from repro.core.dras_dql import DRASDQL
+from repro.core.decima import DecimaPG
+
+__all__ = [
+    "CapabilityReward",
+    "CapacityReward",
+    "DRASConfig",
+    "DRASDQL",
+    "DRASPG",
+    "DecimaPG",
+    "HierarchicalAgent",
+    "NetworkDims",
+    "RewardFunction",
+    "StateEncoder",
+    "make_reward",
+    "table3_configs",
+]

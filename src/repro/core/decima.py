@@ -1,0 +1,131 @@
+"""Decima-PG: the flat reinforcement-learning baseline (paper §IV-A).
+
+Decima (Mao et al., SIGCOMM'19) targets DAG-structured data-processing
+jobs and is not directly applicable to rigid HPC jobs, so the paper
+evaluates a *modified* Decima: the graph neural network is dropped and
+DRAS's state representation is used instead.  The result is a policy
+gradient agent **without** the hierarchical structure — no resource
+reservation, no backfilling.  It therefore serves as the ablation
+baseline isolating the benefit of DRAS's two-level design.
+
+At each scheduling instance the agent repeatedly picks one *runnable*
+job (jobs larger than the free node count are masked out) until no
+waiting job fits.  Large jobs only run when enough nodes happen to be
+free simultaneously — which is exactly why the paper observes severe
+starvation of large jobs under this policy (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import DRASConfig
+from repro.core.dras_pg import PGCore
+from repro.core.rewards import RewardFunction, make_reward
+from repro.core.state import StateEncoder
+from repro.nn.network import build_dras_network
+from repro.nn.optim import Adam
+from repro.schedulers.base import BaseScheduler
+from repro.sim.engine import SchedulingView
+
+
+class DecimaPG(BaseScheduler):
+    """Flat policy-gradient scheduler without reservations."""
+
+    name = "Decima-PG"
+
+    def __init__(self, config: DRASConfig, reward: RewardFunction | None = None) -> None:
+        self.config = config
+        self.reward_fn = (
+            reward
+            if reward is not None
+            else make_reward(config.objective, **config.reward_kwargs)
+        )
+        self.encoder = StateEncoder(
+            num_nodes=config.num_nodes,
+            window=config.window,
+            time_scale=config.time_scale,
+            normalize=config.normalize_state,
+        )
+        self.rng = np.random.default_rng(config.seed)
+        dims = config.pg_dims
+        self.network = build_dras_network(
+            dims.rows, dims.hidden1, dims.hidden2, dims.outputs, rng=self.rng
+        )
+        self.optimizer = Adam(
+            self.network.parameters(),
+            lr=config.learning_rate,
+            grad_clip=config.grad_clip,
+        )
+        self.core = PGCore(
+            network=self.network,
+            optimizer=self.optimizer,
+            encoder=self.encoder,
+            rng=self.rng,
+            gamma=config.gamma,
+            entropy_coef=config.entropy_coef,
+        )
+        self.learning = True
+        self.updates_done = 0
+        self._instances_since_update = 0
+        self.instance_rewards: list[float] = []
+
+    def train(self) -> "DecimaPG":
+        self.learning = True
+        return self
+
+    def eval(self, online_learning: bool = True) -> "DecimaPG":
+        self.learning = online_learning
+        return self
+
+    def schedule(self, view: SchedulingView) -> None:
+        selected = []
+        instance_reward = 0.0
+        n_actions = 0
+        while True:
+            window = view.window(self.config.window)
+            runnable_mask = np.zeros(self.config.window, dtype=bool)
+            free = view.free_nodes
+            for i, job in enumerate(window):
+                runnable_mask[i] = job.size <= free
+            if not runnable_mask.any():
+                break
+            action = self.core.act(
+                window, view, record=self.learning, extra_mask=runnable_mask
+            )
+            job = window[action]
+            view.start(job)
+            selected.append(job)
+            reward = self.reward_fn(selected, view.waiting(), view.cluster, view.now)
+            if self.learning:
+                self.core.record_reward(reward)
+            instance_reward += reward
+            n_actions += 1
+        self.instance_rewards.append(
+            instance_reward / n_actions if n_actions else 0.0
+        )
+        self._instances_since_update += 1
+        if (
+            self.learning
+            and self._instances_since_update >= self.config.update_every
+            and self.core.has_observations()
+        ):
+            self.core.update()
+            self.updates_done += 1
+            self._instances_since_update = 0
+
+    def episode_end(self) -> None:
+        if self.learning and self.core.has_observations():
+            self.core.update()
+            self.updates_done += 1
+        self._instances_since_update = 0
+
+    def on_simulation_end(self, engine) -> None:  # noqa: ANN001
+        self.episode_end()
+
+    # -- persistence -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.network.load_state_dict(state)

@@ -1,0 +1,141 @@
+"""DRAS-DQL: the deep Q-learning variant (paper §III-B, Eq. 4).
+
+The network processes *one job at a time*: input ``[2 + N, 2]`` (one
+job block plus all node rows), output a single neuron — the expected
+Q-value of scheduling that job now.  The same network scores every job
+in the window; the agent normally takes the job with the highest
+Q-value, but with probability ε it explores a random job instead.
+ε starts at 1.0 and decays by 0.995 per parameter update (§III-B).
+
+Learning minimizes the TD error between the *old value*
+:math:`Q(s_k, a_k)` and the *new value*
+:math:`r_k + \\max_a Q(s_{k+1}, a)`, where the maximum runs over the
+candidate jobs of the next selection.  The final selection of an
+episode bootstraps with 0 (terminal).  Updates happen every 10
+scheduling instances with Adam, after which the memory is cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.agent import HierarchicalAgent
+from repro.core.config import DRASConfig
+from repro.core.rewards import RewardFunction
+from repro.nn.losses import mse_loss
+from repro.nn.network import build_dras_network
+from repro.nn.optim import Adam
+from repro.sim.engine import SchedulingView
+from repro.sim.job import Job
+
+
+@dataclass
+class _QTransition:
+    x: np.ndarray                 #: the chosen job's network input
+    reward: float | None = None
+    next_max_q: float | None = None
+
+
+class DRASDQL(HierarchicalAgent):
+    """The hierarchical deep-Q-learning DRAS agent."""
+
+    name = "DRAS-DQL"
+
+    def __init__(self, config: DRASConfig, reward: RewardFunction | None = None) -> None:
+        super().__init__(config, reward)
+        dims = config.dql_dims
+        self.network = build_dras_network(
+            dims.rows, dims.hidden1, dims.hidden2, dims.outputs, rng=self.rng
+        )
+        self.optimizer = Adam(
+            self.network.parameters(),
+            lr=config.learning_rate,
+            grad_clip=config.grad_clip,
+        )
+        self.epsilon = config.epsilon_start
+        self._pending: list[_QTransition] = []
+        self.losses: list[float] = []
+
+    # -- Q evaluation --------------------------------------------------------
+    def q_values(self, window: list[Job], view: SchedulingView) -> tuple[np.ndarray, np.ndarray]:
+        """Q-values of every job in the window: ``(batch_inputs, q)``."""
+        batch = self.encoder.encode_jobs_batch(window, view.cluster, view.now)
+        q = self.network.forward(batch)[:, 0]
+        return batch, q
+
+    # -- HierarchicalAgent interface -------------------------------------------
+    def select(self, window: list[Job], view: SchedulingView, level: int) -> Job:
+        batch, q = self.q_values(window, view)
+        if self.learning:
+            # Bootstrap the previous transition with max_a Q(s_{k+1}, a).
+            if self._pending and self._pending[-1].next_max_q is None \
+                    and self._pending[-1].reward is not None:
+                self._pending[-1].next_max_q = float(q.max())
+            explore = self.rng.random() < self.epsilon
+            action = (
+                int(self.rng.integers(len(window))) if explore else int(np.argmax(q))
+            )
+            self._pending.append(_QTransition(x=batch[action]))
+        else:
+            action = int(np.argmax(q))
+        return window[action]
+
+    def record_reward(self, reward: float) -> None:
+        if not self._pending or self._pending[-1].reward is not None:
+            raise RuntimeError("no pending transition awaiting a reward")
+        self._pending[-1].reward = float(reward)
+
+    def _has_observations(self) -> bool:
+        return any(
+            t.reward is not None and t.next_max_q is not None for t in self._pending
+        )
+
+    def update(self) -> None:
+        """One TD/Adam step over the completed transitions.
+
+        The most recent transition usually has no successor Q yet; it is
+        held back for the next batch (or terminated at episode end).
+        """
+        ready = [
+            t for t in self._pending
+            if t.reward is not None and t.next_max_q is not None
+        ]
+        incomplete = [
+            t for t in self._pending
+            if t.reward is None or t.next_max_q is None
+        ]
+        self._pending = incomplete
+        if not ready:
+            return
+        x = np.stack([t.x for t in ready])
+        targets = np.array(
+            [[t.reward + self.config.gamma * t.next_max_q] for t in ready]
+        )
+        self.network.zero_grad()
+        q = self.network.forward(x)
+        loss, grad = mse_loss(q, targets)
+        self.network.backward(grad)
+        self.optimizer.step()
+        self.losses.append(loss)
+        self.epsilon = max(
+            self.config.epsilon_min, self.epsilon * self.config.epsilon_decay
+        )
+
+    def episode_end(self) -> None:
+        """Terminate the trailing transition with a zero future value."""
+        if self.learning:
+            for t in self._pending:
+                if t.reward is not None and t.next_max_q is None:
+                    t.next_max_q = 0.0
+            self._pending = [t for t in self._pending if t.reward is not None]
+        super().episode_end()
+        self._pending.clear()
+
+    # -- persistence --------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.network.load_state_dict(state)

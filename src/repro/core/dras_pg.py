@@ -1,0 +1,210 @@
+"""DRAS-PG: the policy-gradient variant (paper §III-B, Eq. 3).
+
+The network parameterizes the scheduling policy
+:math:`\\pi_\\theta(s_k, a_k)`: input ``[2W + N, 2]``, output ``W``
+softmax probabilities — one per window slot.  Actions are drawn
+stochastically; invalid slots (window not full, or jobs that a flat
+agent may not start) are masked and the valid probabilities rescaled.
+
+Learning is REINFORCE with a per-step baseline:
+
+.. math::
+
+   \\theta \\leftarrow \\theta + \\alpha \\sum_{k=1}^{K}
+       \\nabla_\\theta \\log \\pi_\\theta(s_k, a_k)
+       \\Big( \\sum_{k'=k}^{K} r_{k'} - b_k \\Big)
+
+with :math:`b_k` the cumulative reward from step ``k`` onwards averaged
+over all past parameter updates.  The step is taken with Adam
+(lr = 0.001) every 10 scheduling instances, after which the memory is
+cleared (§III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.agent import HierarchicalAgent
+from repro.core.config import DRASConfig
+from repro.core.rewards import RewardFunction
+from repro.core.state import StateEncoder
+from repro.nn.losses import masked_softmax, policy_gradient_loss, sample_from_probs
+from repro.nn.network import Network, build_dras_network
+from repro.nn.optim import Adam
+from repro.sim.engine import SchedulingView
+from repro.sim.job import Job
+
+
+class BaselineTracker:
+    """Per-step running average of returns over past parameter updates.
+
+    Implements the paper's baseline :math:`b_k`: the cumulative reward
+    from step ``k`` onwards averaged over every previous update.  The
+    arrays grow lazily as longer trajectories appear.
+    """
+
+    def __init__(self) -> None:
+        self._sums = np.zeros(0)
+        self._counts = np.zeros(0)
+
+    def baselines(self, k: int) -> np.ndarray:
+        """Baselines for steps ``0..k-1`` (zero where nothing seen yet)."""
+        out = np.zeros(k)
+        n = min(k, self._sums.size)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            seen = self._counts[:n] > 0
+            out[:n][seen] = self._sums[:n][seen] / self._counts[:n][seen]
+        return out
+
+    def observe(self, returns: np.ndarray) -> None:
+        """Fold one trajectory's returns into the running averages."""
+        k = returns.size
+        if k > self._sums.size:
+            self._sums = np.concatenate([self._sums, np.zeros(k - self._sums.size)])
+            self._counts = np.concatenate(
+                [self._counts, np.zeros(k - self._counts.size)]
+            )
+        self._sums[:k] += returns
+        self._counts[:k] += 1
+
+
+@dataclass
+class _Transition:
+    x: np.ndarray
+    mask: np.ndarray
+    action: int
+    reward: float | None = None
+
+
+@dataclass
+class PGCore:
+    """Shared policy-gradient machinery (used by DRAS-PG and Decima-PG)."""
+
+    network: Network
+    optimizer: Adam
+    encoder: StateEncoder
+    rng: np.random.Generator
+    gamma: float = 1.0
+    entropy_coef: float = 0.0
+    greedy: bool = False
+    baseline: BaselineTracker = field(default_factory=BaselineTracker)
+    pending: list[_Transition] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+
+    def policy(self, window: list[Job], view: SchedulingView,
+               extra_mask: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Action probabilities over the window.
+
+        Returns ``(x, mask, probs)``.  ``extra_mask`` ANDs additional
+        validity constraints (e.g. Decima-PG's runnable-only rule) into
+        the window mask.
+        """
+        x, mask = self.encoder.encode_window(window, view.cluster, view.now)
+        if extra_mask is not None:
+            mask = mask & extra_mask
+        if not mask.any():
+            raise ValueError("no valid action in window")
+        logits = self.network.forward(x[None])[0]
+        return x, mask, masked_softmax(logits, mask)
+
+    def act(self, window: list[Job], view: SchedulingView, record: bool,
+            extra_mask: np.ndarray | None = None) -> int:
+        x, mask, probs = self.policy(window, view, extra_mask)
+        if self.greedy:
+            action = int(np.argmax(probs))
+        else:
+            action = sample_from_probs(probs, self.rng)
+        if record:
+            self.pending.append(_Transition(x=x, mask=mask, action=action))
+        return action
+
+    def record_reward(self, reward: float) -> None:
+        if not self.pending or self.pending[-1].reward is not None:
+            raise RuntimeError("no pending transition awaiting a reward")
+        self.pending[-1].reward = float(reward)
+
+    def has_observations(self) -> bool:
+        return any(t.reward is not None for t in self.pending)
+
+    def update(self) -> float:
+        """One REINFORCE/Adam step over the collected trajectory."""
+        batch = [t for t in self.pending if t.reward is not None]
+        self.pending.clear()
+        if not batch:
+            return 0.0
+        rewards = np.array([t.reward for t in batch])
+        if self.gamma >= 1.0:
+            returns = np.cumsum(rewards[::-1])[::-1].copy()
+        else:
+            returns = np.empty_like(rewards)
+            acc = 0.0
+            for i in range(rewards.size - 1, -1, -1):
+                acc = rewards[i] + self.gamma * acc
+                returns[i] = acc
+        advantages = returns - self.baseline.baselines(returns.size)
+        self.baseline.observe(returns)
+
+        x = np.stack([t.x for t in batch])
+        masks = np.stack([t.mask for t in batch])
+        actions = np.array([t.action for t in batch])
+
+        self.network.zero_grad()
+        logits = self.network.forward(x)
+        loss, grad = policy_gradient_loss(
+            logits, masks, actions, advantages, entropy_coef=self.entropy_coef
+        )
+        self.network.backward(grad)
+        self.optimizer.step()
+        self.losses.append(loss)
+        return loss
+
+
+class DRASPG(HierarchicalAgent):
+    """The hierarchical policy-gradient DRAS agent."""
+
+    name = "DRAS-PG"
+
+    def __init__(self, config: DRASConfig, reward: RewardFunction | None = None) -> None:
+        super().__init__(config, reward)
+        dims = config.pg_dims
+        self.network = build_dras_network(
+            dims.rows, dims.hidden1, dims.hidden2, dims.outputs, rng=self.rng
+        )
+        self.optimizer = Adam(
+            self.network.parameters(),
+            lr=config.learning_rate,
+            grad_clip=config.grad_clip,
+        )
+        self.core = PGCore(
+            network=self.network,
+            optimizer=self.optimizer,
+            encoder=self.encoder,
+            rng=self.rng,
+            gamma=config.gamma,
+            entropy_coef=config.entropy_coef,
+            greedy=False,
+        )
+
+    # -- HierarchicalAgent interface ----------------------------------------
+    def select(self, window: list[Job], view: SchedulingView, level: int) -> Job:
+        self.core.greedy = self.config.greedy_eval and not self.learning
+        action = self.core.act(window, view, record=self.learning)
+        return window[action]
+
+    def record_reward(self, reward: float) -> None:
+        self.core.record_reward(reward)
+
+    def update(self) -> None:
+        self.core.update()
+
+    def _has_observations(self) -> bool:
+        return self.core.has_observations()
+
+    # -- persistence -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.network.load_state_dict(state)

@@ -1,0 +1,93 @@
+"""Full agent checkpointing.
+
+:func:`repro.nn.save_network` persists weights only; resuming
+*training* (or redeploying an online-learning agent, §V-D) also needs
+the optimizer moments, the PG baseline statistics and the DQL
+exploration rate.  These helpers serialize the complete agent state to
+a single ``.npz`` with a JSON metadata record, and rebuild the agent
+from scratch on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DRASConfig
+from repro.core.decima import DecimaPG
+from repro.core.dras_dql import DRASDQL
+from repro.core.dras_pg import DRASPG
+
+FORMAT_VERSION = 1
+
+_KINDS = {"pg": DRASPG, "dql": DRASDQL, "decima": DecimaPG}
+
+
+def _kind_of(agent) -> str:
+    for kind, cls in _KINDS.items():
+        if type(agent) is cls:
+            return kind
+    raise TypeError(f"unsupported agent type {type(agent).__name__}")
+
+
+def save_agent(agent, path: str | Path) -> None:
+    """Write the complete trainable state of a DRAS/Decima agent."""
+    kind = _kind_of(agent)
+    config = dataclasses.asdict(agent.config)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "name": agent.name,
+        "config": config,
+    }
+    arrays: dict[str, np.ndarray] = {
+        f"net.{k}": v for k, v in agent.network.state_dict().items()
+    }
+    opt = agent.optimizer
+    for i, (m, v) in enumerate(zip(opt._m, opt._v)):
+        arrays[f"adam.m.{i}"] = m
+        arrays[f"adam.v.{i}"] = v
+    arrays["adam.t"] = np.array([opt._t], dtype=np.int64)
+    if kind in ("pg", "decima"):
+        arrays["baseline.sums"] = agent.core.baseline._sums
+        arrays["baseline.counts"] = agent.core.baseline._counts
+    if kind == "dql":
+        arrays["epsilon"] = np.array([agent.epsilon])
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, __meta__=np.array(json.dumps(meta)), **arrays)
+
+
+def load_agent(path: str | Path):
+    """Rebuild an agent (including optimizer/exploration state)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["__meta__"]))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {meta.get('format_version')}"
+            )
+        kind = meta["kind"]
+        try:
+            cls = _KINDS[kind]
+        except KeyError:
+            raise ValueError(f"unknown agent kind {kind!r}") from None
+        config = DRASConfig(**meta["config"])
+        agent = cls(config)
+        agent.network.load_state_dict(
+            {k[len("net."):]: data[k] for k in data.files if k.startswith("net.")}
+        )
+        opt = agent.optimizer
+        n_params = len(opt.params)
+        for i in range(n_params):
+            opt._m[i] = data[f"adam.m.{i}"].copy()
+            opt._v[i] = data[f"adam.v.{i}"].copy()
+        opt._t = int(data["adam.t"][0])
+        if kind in ("pg", "decima"):
+            agent.core.baseline._sums = data["baseline.sums"].copy()
+            agent.core.baseline._counts = data["baseline.counts"].copy()
+        if kind == "dql":
+            agent.epsilon = float(data["epsilon"][0])
+    return agent

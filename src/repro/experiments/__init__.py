@@ -1,0 +1,18 @@
+"""Experiment harness — one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., seed=...)`` returning a plain
+result object and ``report(result)`` returning a printable string with
+the same rows/series the paper reports.  DESIGN.md §3 maps each module
+to the corresponding paper artifact; EXPERIMENTS.md records
+paper-vs-measured values.
+
+Scales (see :class:`repro.experiments.common.Scale`):
+
+* ``"tiny"`` — seconds; used by the integration tests;
+* ``"default"`` — minutes for the whole suite; used by benchmarks;
+* ``"paper"`` — full-size systems and horizons.
+"""
+
+from repro.experiments.common import Scale, get_scale
+
+__all__ = ["Scale", "get_scale"]

@@ -1,0 +1,89 @@
+"""Fig 3 — job patterns of the Theta training dataset.
+
+The paper characterizes the training data by hourly and daily job
+arrival counts and by the distributions of job sizes and runtimes —
+the statistics the synthetic jobset generator must mimic.  We report
+the same four panels for the generated training trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import system_setup
+from repro.sim.job import Job
+
+_HOUR = 3600.0
+_DAY = 24 * _HOUR
+
+
+@dataclass(frozen=True)
+class JobPatterns:
+    hourly_arrivals: tuple[float, ...]   #: mean arrivals per hour-of-day
+    daily_arrivals: tuple[float, ...]    #: mean arrivals per day-of-week
+    size_quantiles: dict[str, float]
+    runtime_quantiles_h: dict[str, float]
+
+
+def analyze(jobs: list[Job]) -> JobPatterns:
+    if not jobs:
+        raise ValueError("empty trace")
+    submits = np.array([j.submit_time for j in jobs])
+    sizes = np.array([j.size for j in jobs], dtype=np.float64)
+    runtimes = np.array([j.runtime for j in jobs]) / _HOUR
+
+    hours = ((submits % _DAY) // _HOUR).astype(int)
+    days = ((submits // _DAY) % 7).astype(int)
+    span_days = max(1.0, (submits.max() - submits.min()) / _DAY)
+    hourly = np.bincount(hours, minlength=24) / span_days
+    n_weeks = max(1.0, span_days / 7.0)
+    daily = np.bincount(days, minlength=7) / n_weeks
+
+    q = [5, 25, 50, 75, 95]
+    return JobPatterns(
+        hourly_arrivals=tuple(float(h) for h in hourly),
+        daily_arrivals=tuple(float(d) for d in daily),
+        size_quantiles={f"p{p}": float(np.percentile(sizes, p)) for p in q},
+        runtime_quantiles_h={f"p{p}": float(np.percentile(runtimes, p)) for p in q},
+    )
+
+
+def run(scale: str = "default", seed: int = 0) -> JobPatterns:
+    setup = system_setup("theta", scale, seed)
+    return analyze(setup.train_trace)
+
+
+def report(patterns: JobPatterns) -> str:
+    hour_rows = [
+        [f"{h:02d}:00", f"{v:.2f}"] for h, v in enumerate(patterns.hourly_arrivals)
+    ]
+    day_names = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+    day_rows = [
+        [name, f"{v:.1f}"] for name, v in zip(day_names, patterns.daily_arrivals)
+    ]
+    dist_rows = [
+        [p, f"{patterns.size_quantiles[p]:.0f}", f"{patterns.runtime_quantiles_h[p]:.2f}"]
+        for p in patterns.size_quantiles
+    ]
+    return "\n\n".join(
+        [
+            format_table(
+                ["hour of day", "arrivals/hour"],
+                hour_rows,
+                title="Fig 3a: hourly job arrivals (Theta training set)",
+            ),
+            format_table(
+                ["day of week", "arrivals/day"],
+                day_rows,
+                title="Fig 3b: daily job arrivals",
+            ),
+            format_table(
+                ["quantile", "job size (nodes)", "runtime (hours)"],
+                dist_rows,
+                title="Fig 3c/d: job size and runtime distributions",
+            ),
+        ]
+    )

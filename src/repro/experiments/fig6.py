@@ -1,0 +1,104 @@
+"""Fig 6 — overall scheduling performance (Kiviat graphs).
+
+For each system (Theta, Cori) and each of the seven methods, five
+metrics are computed on the test trace — reciprocal average wait,
+reciprocal maximum wait, reciprocal average slowdown, reciprocal
+average response time, and utilization — then min-max normalized to
+[0, 1] across methods (1 = best).  The paper's headline findings to
+reproduce:
+
+* DRAS yields the best overall result (largest Kiviat area);
+* DRAS-PG leads on user-level metrics, DRAS-DQL on system-level;
+* FCFS has the best maximum wait but poor averages;
+* Decima-PG does well on utilization but poorly on user metrics;
+* BinPacking and Random are worst overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.comparison import kiviat_area, kiviat_normalize
+from repro.analysis.plots import kiviat_text
+from repro.analysis.tables import format_table
+from repro.experiments.common import METHOD_ORDER, full_comparison
+
+
+@dataclass(frozen=True)
+class KiviatResult:
+    system: str
+    #: {method: {metric: normalized value}}
+    normalized: dict[str, dict[str, float]]
+    #: {method: raw metric dict}
+    raw: dict[str, dict[str, float]]
+    #: {method: polygon area}
+    areas: dict[str, float]
+
+
+def run_system(system: str, scale: str = "default", seed: int = 0) -> KiviatResult:
+    results = full_comparison(system, scale, seed)
+    ordered = [results[name] for name in METHOD_ORDER if name in results]
+    normalized = kiviat_normalize(ordered)
+    return KiviatResult(
+        system=system,
+        normalized=normalized,
+        raw={r.name: r.metrics.as_dict() for r in ordered},
+        areas={name: kiviat_area(vals) for name, vals in normalized.items()},
+    )
+
+
+def run(scale: str = "default", seed: int = 0) -> dict[str, KiviatResult]:
+    return {
+        system: run_system(system, scale, seed) for system in ("theta", "cori")
+    }
+
+
+def report(results: dict[str, KiviatResult]) -> str:
+    blocks = []
+    for system, res in results.items():
+        metrics = list(next(iter(res.normalized.values())).keys())
+        rows = []
+        for method, vals in res.normalized.items():
+            rows.append(
+                [method, *[f"{vals[m]:.2f}" for m in metrics], f"{res.areas[method]:.3f}"]
+            )
+        blocks.append(
+            format_table(
+                ["method", *metrics, "area"],
+                rows,
+                title=f"Fig 6: normalized scheduling performance, {system} "
+                "(1 = best, 0 = worst; larger area = better overall)",
+            )
+        )
+        raw_rows = [
+            [
+                method,
+                f"{raw['avg_wait'] / 3600:.2f}",
+                f"{raw['max_wait'] / 86400:.2f}",
+                f"{raw['avg_slowdown']:.2f}",
+                f"{raw['avg_response'] / 3600:.2f}",
+                f"{raw['utilization']:.3f}",
+            ]
+            for method, raw in res.raw.items()
+        ]
+        blocks.append(
+            format_table(
+                [
+                    "method",
+                    "avg wait (h)",
+                    "max wait (d)",
+                    "avg slowdown",
+                    "avg response (h)",
+                    "utilization",
+                ],
+                raw_rows,
+                title=f"raw metrics, {system}",
+            )
+        )
+        blocks.append(
+            kiviat_text(
+                res.normalized,
+                title=f"normalized metric bars, {system} (Kiviat spokes):",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,106 @@
+"""Run-everything orchestrator.
+
+Regenerates every table and figure of the paper at one scale and
+assembles a combined report, in the paper's presentation order.  The
+CLI exposes this as ``python -m repro reproduce all``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    overhead,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: id, runner, reporter."""
+
+    exp_id: str
+    run: Callable[..., object]
+    report: Callable[[object], str]
+    needs_scale: bool = True
+
+
+SPECS: tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("table1", lambda **_: table1.run(), table1.report, False),
+    ExperimentSpec("table2", table2.run, table2.report),
+    ExperimentSpec("fig2", fig2.run, fig2.report),
+    ExperimentSpec("fig3", fig3.run, fig3.report),
+    ExperimentSpec("table3", lambda **_: table3.run(), table3.report, False),
+    ExperimentSpec("fig4", fig4.run, fig4.report),
+    ExperimentSpec("fig5", fig5.run, fig5.report),
+    ExperimentSpec("fig6", fig6.run, fig6.report),
+    ExperimentSpec("fig7", fig7.run, fig7.report),
+    ExperimentSpec("table4", table4.run, table4.report),
+    ExperimentSpec("fig8", fig8.run, fig8.report),
+    ExperimentSpec("fig9", fig9.run, fig9.report),
+    ExperimentSpec(
+        "overhead",
+        lambda full_size=True, **_: overhead.run(full_size=full_size),
+        overhead.report,
+        False,
+    ),
+)
+
+
+def run_all(
+    scale: str = "default",
+    seed: int = 0,
+    only: tuple[str, ...] | None = None,
+    full_size_overhead: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, str]:
+    """Run every (or the selected) experiment; return rendered reports.
+
+    Experiments share cached traces and trained agents within the
+    process, so the full sweep costs little more than Fig 6 alone plus
+    the training-order study.
+    """
+    selected = {s.exp_id: s for s in SPECS}
+    if only is not None:
+        unknown = set(only) - set(selected)
+        if unknown:
+            raise ValueError(f"unknown experiment ids: {sorted(unknown)}")
+        selected = {k: v for k, v in selected.items() if k in only}
+    reports: dict[str, str] = {}
+    for exp_id, spec in selected.items():
+        start = time.perf_counter()
+        if spec.needs_scale:
+            result = spec.run(scale, seed=seed)
+        elif exp_id == "overhead":
+            result = spec.run(full_size=full_size_overhead)
+        else:
+            result = spec.run()
+        reports[exp_id] = spec.report(result)
+        if progress is not None:
+            progress(f"{exp_id}: done in {time.perf_counter() - start:.1f} s")
+    return reports
+
+
+def combined_report(reports: dict[str, str], scale: str) -> str:
+    """Assemble individual reports into one document."""
+    header = (
+        f"DRAS reproduction — full experiment sweep (scale: {scale})\n"
+        + "=" * 64
+    )
+    blocks = [header]
+    for exp_id, text in reports.items():
+        blocks.append(f"\n{'-' * 64}\n[{exp_id}]\n{'-' * 64}\n{text}")
+    return "\n".join(blocks)

@@ -1,0 +1,56 @@
+"""Table I — qualitative comparison of cluster scheduling methods.
+
+This table is a design-space summary, not a measurement; we regenerate
+it from a machine-readable feature matrix so the claims stay attached
+to the implementations in this repository (each row's entry for DRAS,
+FCFS, etc. is realized by the corresponding module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+
+_METHODS = ("FCFS", "BinPacking", "Optimization", "Decima", "DRAS")
+
+_YES, _NO = "yes", "no"
+
+
+@dataclass(frozen=True)
+class FeatureRow:
+    feature: str
+    values: tuple[str, ...]
+
+
+_FEATURES: tuple[FeatureRow, ...] = (
+    FeatureRow("Adaption to workload changes", (_NO, _NO, _NO, _YES, _YES)),
+    FeatureRow("Automatic policy tuning", (_NO, _NO, _NO, _YES, _YES)),
+    FeatureRow("Long-term scheduling performance", (_NO, _NO, _NO, _YES, _YES)),
+    FeatureRow("Starvation avoidance", (_YES, _NO, _NO, _NO, _YES)),
+    FeatureRow("Require training", (_NO, _NO, _NO, _YES, _YES)),
+    FeatureRow("Implementation effort", ("easy", "easy", "median", "hard", "hard")),
+    FeatureRow(
+        "Key objective",
+        (
+            "fairness",
+            "utilization",
+            "customizable",
+            "customizable",
+            "customizable",
+        ),
+    ),
+)
+
+
+def run() -> tuple[FeatureRow, ...]:
+    return _FEATURES
+
+
+def report(rows: tuple[FeatureRow, ...] = _FEATURES) -> str:
+    table_rows = [[r.feature, *r.values] for r in rows]
+    return format_table(
+        ["Feature", *_METHODS],
+        table_rows,
+        title="Table I: comparison of cluster scheduling methods",
+    )

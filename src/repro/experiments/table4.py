@@ -1,0 +1,94 @@
+"""Table IV — job distributions across execution modes on Theta.
+
+For every method: the percentage of *jobs* and of *core hours* executed
+in each mode (backfilled / ready / reserved).  The paper's shape:
+
+* methods without reservations (Optimization, Decima-PG, BinPacking,
+  Random) run 100% of jobs as *ready*;
+* FCFS and DRAS backfill the large majority of jobs (~80-85%) while
+  *reserved* jobs consume the majority of core hours (~52-55%) —
+  i.e. DRAS protects the big capability jobs through reservation while
+  churning small jobs through backfill holes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import METHOD_ORDER, full_comparison
+from repro.sim.job import ExecMode
+
+PAPER_REFERENCE = {
+    # method: (backfilled jobs %, backfilled ch %, ready jobs %, ready ch %,
+    #          reserved jobs %, reserved ch %)
+    "Optimization": (0.0, 0.0, 100.0, 100.0, 0.0, 0.0),
+    "Decima-PG": (0.0, 0.0, 100.0, 100.0, 0.0, 0.0),
+    "BinPacking": (0.0, 0.0, 100.0, 100.0, 0.0, 0.0),
+    "Random": (0.0, 0.0, 100.0, 100.0, 0.0, 0.0),
+    "FCFS": (79.25, 30.45, 9.88, 16.99, 10.87, 52.56),
+    "DRAS-PG": (83.76, 33.67, 8.63, 11.29, 7.61, 55.04),
+    "DRAS-DQL": (84.83, 34.17, 6.84, 10.91, 15.17, 54.92),
+}
+
+
+@dataclass(frozen=True)
+class ModeRow:
+    method: str
+    backfilled_jobs: float
+    backfilled_ch: float
+    ready_jobs: float
+    ready_ch: float
+    reserved_jobs: float
+    reserved_ch: float
+
+
+def run(scale: str = "default", seed: int = 0) -> list[ModeRow]:
+    results = full_comparison("theta", scale, seed)
+    rows = []
+    for name in METHOD_ORDER:
+        modes = results[name].modes
+        rows.append(
+            ModeRow(
+                method=name,
+                backfilled_jobs=100 * modes.job_share[ExecMode.BACKFILLED],
+                backfilled_ch=100 * modes.core_hour_share[ExecMode.BACKFILLED],
+                ready_jobs=100 * modes.job_share[ExecMode.READY],
+                ready_ch=100 * modes.core_hour_share[ExecMode.READY],
+                reserved_jobs=100 * modes.job_share[ExecMode.RESERVED],
+                reserved_ch=100 * modes.core_hour_share[ExecMode.RESERVED],
+            )
+        )
+    return rows
+
+
+def report(rows: list[ModeRow]) -> str:
+    table_rows = []
+    for r in rows:
+        ref = PAPER_REFERENCE.get(r.method)
+        table_rows.append(
+            [
+                r.method,
+                f"{r.backfilled_jobs:.1f}%",
+                f"{r.backfilled_ch:.1f}%",
+                f"{r.ready_jobs:.1f}%",
+                f"{r.ready_ch:.1f}%",
+                f"{r.reserved_jobs:.1f}%",
+                f"{r.reserved_ch:.1f}%",
+                "" if ref is None else f"paper: {ref[0]:.0f}/{ref[2]:.0f}/{ref[4]:.0f}",
+            ]
+        )
+    return format_table(
+        [
+            "method",
+            "backfilled jobs",
+            "backfilled ch",
+            "ready jobs",
+            "ready ch",
+            "reserved jobs",
+            "reserved ch",
+            "paper jobs% (bf/rdy/res)",
+        ],
+        table_rows,
+        title="Table IV: job distributions across execution modes (Theta)",
+    )

@@ -1,0 +1,152 @@
+"""Layers with explicit forward/backward passes.
+
+Each layer caches what its backward pass needs during ``forward`` and
+exposes its trainable tensors as :class:`Parameter` objects, which an
+optimizer updates in place.  Shapes follow the DRAS conventions:
+network input is ``[B, rows, 2]``; after the 1x2 convolution the
+representation is ``[B, rows]``; dense layers map ``[B, in] -> [B, out]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray) -> None:
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base layer: ``forward`` caches, ``backward`` returns input grads."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+
+class Conv1x2(Layer):
+    """The paper's convolution layer: one 1x2 filter applied per row.
+
+    For input ``x`` of shape ``[B, rows, 2]`` the output is
+    ``y[b, r] = w0 * x[b, r, 0] + w1 * x[b, r, 1] + bias`` — one neuron
+    per row, extracting the job/node status information of that row
+    (§III-B).  Contributes 3 trainable parameters.
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng()
+        # He-style init for a fan-in of 2
+        w = rng.normal(0.0, np.sqrt(2.0 / 2.0), size=2)
+        self.weight = Parameter("conv.weight", w)
+        self.bias = Parameter("conv.bias", np.zeros(1))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[-1] != 2:
+            raise ValueError(f"Conv1x2 expects [B, rows, 2], got {x.shape}")
+        self._x = x
+        return x @ self.weight.value + self.bias.value[0]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        # grad_out: [B, rows]
+        self.weight.grad += np.einsum("br,brk->k", grad_out, x)
+        self.bias.grad += np.array([grad_out.sum()])
+        return grad_out[..., None] * self.weight.value
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Dense(Layer):
+    """Fully-connected layer ``[B, in] -> [B, out]``.
+
+    ``bias=False`` for the two hidden layers reproduces the paper's
+    Table III parameter counts (DESIGN.md §4).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str = "dense",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / in_features)  # He init for leaky-ReLU nets
+        self.weight = Parameter(
+            f"{name}.weight", rng.normal(0.0, scale, size=(in_features, out_features))
+        )
+        self.bias = Parameter(f"{name}.bias", np.zeros(out_features)) if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.value.shape[0]:
+            raise ValueError(
+                f"Dense expects [B, {self.weight.value.shape[0]}], got {x.shape}"
+            )
+        self._x = x
+        y = x @ self.weight.value
+        if self.bias is not None:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_out
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+
+class LeakyReLU(Layer):
+    """Leaky rectifier activation (§III-B)."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, self.alpha * grad_out)

@@ -1,0 +1,110 @@
+"""Sequential network container and the DRAS network builder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv1x2, Dense, Layer, LeakyReLU, Parameter
+
+
+class Network:
+    """A simple sequential network."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers = layers
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameter values keyed by position-qualified names."""
+        return {
+            f"{i}.{p.name}": p.value.copy()
+            for i, layer in enumerate(self.layers)
+            for p in layer.parameters()
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = {
+            f"{i}.{p.name}": p
+            for i, layer in enumerate(self.layers)
+            for p in layer.parameters()
+        }
+        if set(own) != set(state):
+            missing = set(own) - set(state)
+            extra = set(state) - set(own)
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, extra={sorted(extra)}"
+            )
+        for key, param in own.items():
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: {value.shape} vs {param.value.shape}"
+                )
+            param.value = value.copy()
+
+    def copy(self) -> "Network":
+        """A structural deep copy (used for per-episode model snapshots)."""
+        import copy as _copy
+
+        clone = _copy.deepcopy(self)
+        for layer in clone.layers:
+            # drop forward caches
+            for attr in ("_x", "_mask"):
+                if hasattr(layer, attr):
+                    setattr(layer, attr, None)
+        return clone
+
+
+def build_dras_network(
+    rows: int,
+    hidden1: int,
+    hidden2: int,
+    outputs: int,
+    rng: np.random.Generator | None = None,
+    leaky_alpha: float = 0.01,
+) -> Network:
+    """The paper's five-layer DRAS network (§III-B, Table III).
+
+    ``input [rows, 2] -> Conv1x2 -> FC(hidden1, no bias) -> leaky ReLU
+    -> FC(hidden2, no bias) -> leaky ReLU -> FC(outputs, bias)``
+
+    For Theta DRAS-PG: ``rows=4460, hidden1=4000, hidden2=1000,
+    outputs=50`` giving 21,890,053 trainable parameters, matching
+    Table III exactly.
+    """
+    rng = rng or np.random.default_rng()
+    return Network(
+        [
+            Conv1x2(rng=rng),
+            Dense(rows, hidden1, bias=False, rng=rng, name="fc1"),
+            LeakyReLU(leaky_alpha),
+            Dense(hidden1, hidden2, bias=False, rng=rng, name="fc2"),
+            LeakyReLU(leaky_alpha),
+            Dense(hidden2, outputs, bias=True, rng=rng, name="out"),
+        ]
+    )
+
+
+def count_parameters(network: Network) -> int:
+    """Total number of trainable scalars (Table III bottom row)."""
+    return sum(p.size for p in network.parameters())

@@ -1,0 +1,91 @@
+"""Optimizers updating :class:`~repro.nn.layers.Parameter` in place."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not params:
+            raise ValueError("no parameters to optimize")
+        self.params = params
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent, optionally with momentum."""
+
+    def __init__(
+        self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the optimizer the paper uses, lr = 0.001."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        grad_clip: float | None = None,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.grad_clip is not None:
+                norm = float(np.linalg.norm(g))
+                if norm > self.grad_clip:
+                    g = g * (self.grad_clip / norm)
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * np.square(g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,45 @@
+"""Policy-agnostic reward accounting.
+
+Fig 5 plots "the total reward collected by the different scheduling
+methods" — including FCFS, BinPacking, Random and Optimization, which
+never look at a reward.  :class:`RewardMeter` observes any engine run
+and evaluates a reward function once per scheduling instance on the
+jobs the policy selected, so every method is scored by the identical
+objective.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.rewards import RewardFunction
+from repro.sim.engine import SchedulingView
+from repro.sim.job import Job
+
+
+class RewardMeter:
+    """Accumulates per-instance rewards of an arbitrary policy."""
+
+    def __init__(self, reward_fn: RewardFunction) -> None:
+        self.reward_fn = reward_fn
+        self.total = 0.0
+        self.instances = 0
+        self.per_instance: list[float] = []
+
+    def on_instance(self, view: SchedulingView, started: Sequence[Job]) -> None:
+        selected = list(started)
+        if view.reserved_job is not None:
+            selected.append(view.reserved_job)
+        reward = self.reward_fn(selected, view.waiting(), view.cluster, view.now)
+        self.total += reward
+        self.instances += 1
+        self.per_instance.append(reward)
+
+    @property
+    def average(self) -> float:
+        return self.total / self.instances if self.instances else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.instances = 0
+        self.per_instance.clear()

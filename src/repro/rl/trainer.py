@@ -1,0 +1,158 @@
+"""Episodic training with per-episode snapshots and validation.
+
+Training follows §III-C: the network parameters start random, each
+episode replays one jobset from an all-idle initial state, parameters
+update every ten scheduling instances, and the trainer takes a snapshot
+of the model after every episode.  An unseen validation jobset measures
+progress; the convergence monitor declares convergence when the
+validation reward plateaus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.meter import RewardMeter
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.job import Job
+
+
+@dataclass(frozen=True)
+class EpisodeStats:
+    """Bookkeeping of one training episode."""
+
+    episode: int
+    phase: str
+    num_jobs: int
+    train_reward: float
+    validation_reward: float
+    updates_done: int
+
+
+@dataclass
+class TrainingHistory:
+    """Episode statistics plus model snapshots."""
+
+    episodes: list[EpisodeStats] = field(default_factory=list)
+    snapshots: list[dict[str, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def validation_curve(self) -> np.ndarray:
+        return np.array([e.validation_reward for e in self.episodes])
+
+    def best_episode(self) -> int:
+        """Index of the snapshot with the highest validation reward."""
+        if not self.episodes:
+            raise ValueError("no episodes recorded")
+        return int(np.argmax(self.validation_curve))
+
+    def converged_at(self, window: int = 5, rel_tol: float = 0.05) -> int | None:
+        """First episode where the validation reward plateaus.
+
+        The curve is considered converged at episode ``i`` when the last
+        ``window`` validation rewards vary by less than ``rel_tol``
+        relative to their mean magnitude.  Returns ``None`` if the curve
+        never converges.
+        """
+        curve = self.validation_curve
+        for i in range(window - 1, curve.size):
+            chunk = curve[i - window + 1 : i + 1]
+            scale = max(abs(float(np.mean(chunk))), 1e-12)
+            if float(np.ptp(chunk)) <= rel_tol * scale:
+                return i
+        return None
+
+
+class Trainer:
+    """Trains a DRAS (or Decima) agent over a sequence of jobsets.
+
+    Parameters
+    ----------
+    agent:
+        An agent exposing ``schedule`` plus ``train`` / ``eval`` mode
+        toggles and ``state_dict`` (DRASPG, DRASDQL, DecimaPG).
+    num_nodes:
+        System size for the simulated cluster.
+    validation_jobs:
+        The unseen jobset scored after every episode (§IV-D uses one
+        held-out month).  Without it, validation rewards are NaN.
+    """
+
+    def __init__(
+        self,
+        agent,
+        num_nodes: int,
+        validation_jobs: list[Job] | None = None,
+        snapshot_every: int = 1,
+    ) -> None:
+        if snapshot_every <= 0:
+            raise ValueError("snapshot_every must be positive")
+        self.agent = agent
+        self.num_nodes = num_nodes
+        self.validation_jobs = validation_jobs
+        self.snapshot_every = snapshot_every
+
+    # -- single pieces -----------------------------------------------------------
+    def run_episode(self, jobset: list[Job]) -> float:
+        """One training episode; returns the total collected reward."""
+        self.agent.train()
+        meter = RewardMeter(self.agent.reward_fn)
+        engine = Engine(
+            Cluster(self.num_nodes),
+            self.agent,
+            [j.copy_fresh() for j in jobset],
+            observers=[meter],
+        )
+        engine.run()
+        return meter.total
+
+    def validate(self) -> float:
+        """Score the frozen current policy on the validation jobset."""
+        if self.validation_jobs is None:
+            return float("nan")
+        was_learning = self.agent.learning
+        self.agent.eval(online_learning=False)
+        meter = RewardMeter(self.agent.reward_fn)
+        engine = Engine(
+            Cluster(self.num_nodes),
+            self.agent,
+            [j.copy_fresh() for j in self.validation_jobs],
+            observers=[meter],
+        )
+        engine.run()
+        self.agent.learning = was_learning
+        return meter.total
+
+    # -- full loop ------------------------------------------------------------------
+    def train(
+        self,
+        jobsets: list[tuple[str, list[Job]]],
+        history: TrainingHistory | None = None,
+        stop_on_convergence: bool = False,
+        convergence_window: int = 5,
+    ) -> TrainingHistory:
+        """Train over ``(phase_name, jobset)`` pairs in order."""
+        history = history or TrainingHistory()
+        for phase, jobset in jobsets:
+            episode = len(history.episodes)
+            train_reward = self.run_episode(jobset)
+            val_reward = self.validate()
+            updates = getattr(self.agent, "updates_done", 0)
+            history.episodes.append(
+                EpisodeStats(
+                    episode=episode,
+                    phase=phase,
+                    num_jobs=len(jobset),
+                    train_reward=train_reward,
+                    validation_reward=val_reward,
+                    updates_done=updates,
+                )
+            )
+            if episode % self.snapshot_every == 0:
+                history.snapshots.append(self.agent.state_dict())
+            if stop_on_convergence and history.converged_at(convergence_window):
+                break
+        return history

@@ -1,0 +1,30 @@
+"""Common scaffolding for scheduling policies."""
+
+from __future__ import annotations
+
+from repro.sim.engine import SchedulingView
+
+
+class BaseScheduler:
+    """Base class for all policies.
+
+    Subclasses implement :meth:`schedule`; the engine calls it once per
+    scheduling instance with a :class:`~repro.sim.engine.SchedulingView`
+    through which the policy takes its actions.
+    """
+
+    #: human-readable policy name, used in experiment reports
+    name: str = "base"
+
+    def schedule(self, view: SchedulingView) -> None:
+        raise NotImplementedError
+
+    # Optional lifecycle hooks --------------------------------------------
+    def on_simulation_start(self, engine) -> None:  # noqa: ANN001
+        """Called by the engine before the first event is processed."""
+
+    def on_simulation_end(self, engine) -> None:  # noqa: ANN001
+        """Called by the engine after the last event is processed."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,41 @@
+"""FCFS with EASY backfilling (paper section IV-A).
+
+Jobs are prioritized by arrival time.  The head of the queue runs as
+soon as it fits; when it does not, resources are reserved for it at the
+shadow time and subsequent jobs may backfill under the EASY condition
+(they must not delay the reservation).  Candidate selection is
+*first-fit*: the earliest-arrived legal candidate backfills first.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import BaseScheduler
+from repro.sim.engine import SchedulingView
+
+
+class FCFSEasy(BaseScheduler):
+    """First come, first served with EASY backfilling."""
+
+    name = "FCFS"
+
+    def schedule(self, view: SchedulingView) -> None:
+        # Phase 1: run jobs from the head of the queue while they fit.
+        while True:
+            waiting = view.waiting()
+            if not waiting:
+                return
+            head = waiting[0]
+            if head.size <= view.free_nodes:
+                view.start(head)
+            else:
+                break
+
+        # Phase 2: reserve for the blocked head job.
+        view.reserve(head)
+
+        # Phase 3: first-fit backfilling until no candidate remains.
+        while True:
+            candidates = view.backfill_candidates()
+            if not candidates:
+                return
+            view.start(candidates[0])

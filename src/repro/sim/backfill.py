@@ -1,0 +1,81 @@
+"""EASY-backfilling machinery: reservations, shadow time, candidates.
+
+When the job at the head of the scheduling order does not fit, EASY
+backfilling (Mu'alem & Feitelson) reserves resources for it at the
+earliest expected availability — the *shadow time* — and lets smaller
+jobs jump ahead as long as they cannot delay that reservation.  A job
+may backfill if either
+
+* it finishes (by its walltime estimate) before the shadow time, or
+* it uses only the *extra nodes*: nodes that will still be free at the
+  shadow time after the reserved job takes its share.
+
+DRAS keeps the same safety rule but replaces the first-fit candidate
+choice with a learned level-2 network (paper section III-B).  This
+module computes the reservation and enumerates the legal candidates so
+that every policy — heuristic or learned — shares identical backfilling
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cluster import Cluster
+from repro.sim.job import Job
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A resource reservation for a blocked job."""
+
+    job_id: int
+    size: int
+    #: earliest expected time the reserved job can start
+    shadow_time: float
+    #: nodes free at the shadow time beyond what the reserved job needs
+    extra_nodes: int
+
+    def allows(self, job: Job, now: float, free_nodes: int) -> bool:
+        """Whether ``job`` may backfill without delaying this reservation."""
+        if job.size > free_nodes:
+            return False
+        if now + job.walltime <= self.shadow_time + 1e-9:
+            return True
+        return job.size <= self.extra_nodes
+
+
+class BackfillPlanner:
+    """Computes reservations and legal backfill candidates for a cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+
+    def reserve(self, job: Job, now: float) -> Reservation:
+        """Build a reservation for a job that does not currently fit."""
+        shadow = self._cluster.shadow_time(job.size, now)
+        free_at_shadow = self._cluster.free_nodes_at(shadow, now)
+        extra = max(0, free_at_shadow - job.size)
+        return Reservation(
+            job_id=job.job_id,
+            size=job.size,
+            shadow_time=shadow,
+            extra_nodes=extra,
+        )
+
+    def candidates(
+        self, jobs: list[Job], reservation: Reservation, now: float
+    ) -> list[Job]:
+        """Jobs from ``jobs`` that may legally backfill right now.
+
+        Order of the input is preserved, so a first-fit policy can simply
+        take the first element while DRAS's level-2 network chooses
+        freely among them.
+        """
+        free = self._cluster.available_nodes
+        return [
+            job
+            for job in jobs
+            if job.job_id != reservation.job_id
+            and reservation.allows(job, now, free)
+        ]

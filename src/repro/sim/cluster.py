@@ -1,0 +1,177 @@
+"""Node pool management.
+
+The cluster keeps, for every node, the job occupying it and the node's
+*estimated available time* (job start + user walltime estimate).  The
+paper encodes each node as a ``[1, 2]`` vector: a binary availability
+flag and the difference between the estimated available time and the
+current time (section III-A).  We store these as NumPy arrays so the
+state encoding, the shadow-time computation and utilization accounting
+are all vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.job import Job
+
+_FREE = -1
+
+
+class Cluster:
+    """A pool of ``num_nodes`` identical compute nodes.
+
+    Nodes are interchangeable (no topology) — allocation picks the
+    lowest-indexed free nodes, which matches the level of detail of the
+    paper's simulator.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        #: job id occupying each node, ``-1`` when free
+        self._job_of = np.full(self.num_nodes, _FREE, dtype=np.int64)
+        #: estimated available time of each node (0 when free)
+        self._avail_at = np.zeros(self.num_nodes, dtype=np.float64)
+        #: job id -> allocated node indices
+        self._alloc: dict[int, np.ndarray] = {}
+        #: running node-seconds of *actual* useful work accumulated by
+        #: finished jobs, used by utilization accounting.
+        self._used_node_seconds = 0.0
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def available_nodes(self) -> int:
+        """Number of currently free nodes."""
+        return int(np.count_nonzero(self._job_of == _FREE))
+
+    @property
+    def used_nodes(self) -> int:
+        """Number of currently occupied nodes (``N_used`` in Eq. (1))."""
+        return self.num_nodes - self.available_nodes
+
+    @property
+    def running_job_ids(self) -> list[int]:
+        return list(self._alloc.keys())
+
+    def is_running(self, job_id: int) -> bool:
+        return job_id in self._alloc
+
+    def nodes_of(self, job_id: int) -> np.ndarray:
+        """Node indices allocated to a running job."""
+        return self._alloc[job_id].copy()
+
+    def can_fit(self, size: int) -> bool:
+        return size <= self.available_nodes
+
+    # -- paper state encoding --------------------------------------------------
+    def node_state(self, now: float) -> np.ndarray:
+        """Per-node ``[N, 2]`` state matrix (paper section III-A).
+
+        Column 0 is the binary availability flag (1 free / 0 busy);
+        column 1 is ``estimated_available_time - now`` for busy nodes and
+        0 for free nodes.
+        """
+        free = self._job_of == _FREE
+        state = np.zeros((self.num_nodes, 2), dtype=np.float64)
+        state[:, 0] = free.astype(np.float64)
+        remaining = self._avail_at - now
+        state[~free, 1] = np.maximum(remaining[~free], 0.0)
+        return state
+
+    def estimated_release_times(self, now: float) -> np.ndarray:
+        """Sorted estimated release times of busy nodes (>= ``now``).
+
+        This is the input to the EASY shadow-time computation: assuming
+        every running job occupies its nodes until its walltime estimate,
+        when does each busy node come free?
+        """
+        busy = self._job_of != _FREE
+        times = np.maximum(self._avail_at[busy], now)
+        times.sort()
+        return times
+
+    def shadow_time(self, size: int, now: float) -> float:
+        """Earliest time at which ``size`` nodes are expected to be free.
+
+        Uses walltime estimates of running jobs (jobs can finish early,
+        in which case the actual availability is sooner).  Returns
+        ``now`` when the job already fits.
+        """
+        if size > self.num_nodes:
+            raise ValueError(
+                f"job size {size} exceeds cluster size {self.num_nodes}"
+            )
+        free = self.available_nodes
+        if size <= free:
+            return now
+        releases = self.estimated_release_times(now)
+        # After the k-th busy node releases, free + k + 1 nodes are free.
+        needed = size - free
+        return float(releases[needed - 1])
+
+    def free_nodes_at(self, when: float, now: float) -> int:
+        """Expected number of free nodes at time ``when`` (``when >= now``)."""
+        releases = self.estimated_release_times(now)
+        return self.available_nodes + int(np.searchsorted(releases, when, side="right"))
+
+    # -- allocation -------------------------------------------------------------
+    def allocate(self, job: Job, now: float) -> np.ndarray:
+        """Assign the lowest-indexed free nodes to ``job``.
+
+        Returns the allocated node indices.  Raises if the job does not
+        fit or is already running.
+        """
+        if job.job_id in self._alloc:
+            raise RuntimeError(f"job {job.job_id} already allocated")
+        free_idx = np.flatnonzero(self._job_of == _FREE)
+        if job.size > free_idx.size:
+            raise RuntimeError(
+                f"job {job.job_id} needs {job.size} nodes, only {free_idx.size} free"
+            )
+        chosen = free_idx[: job.size]
+        self._job_of[chosen] = job.job_id
+        self._avail_at[chosen] = now + job.walltime
+        self._alloc[job.job_id] = chosen
+        return chosen.copy()
+
+    def release(self, job: Job) -> None:
+        """Free the nodes held by ``job`` and account its useful work."""
+        try:
+            nodes = self._alloc.pop(job.job_id)
+        except KeyError:
+            raise RuntimeError(f"job {job.job_id} is not allocated") from None
+        self._job_of[nodes] = _FREE
+        self._avail_at[nodes] = 0.0
+        self._used_node_seconds += job.node_seconds
+
+    # -- utilization accounting ----------------------------------------------
+    def used_node_seconds(self, running_jobs: dict[int, Job] | None = None,
+                          now: float | None = None) -> float:
+        """Node-seconds of useful work completed so far.
+
+        If ``running_jobs`` and ``now`` are given, partial work of
+        currently running jobs is included.
+        """
+        total = self._used_node_seconds
+        if running_jobs is not None and now is not None:
+            for job_id in self._alloc:
+                job = running_jobs[job_id]
+                assert job.start_time is not None
+                total += job.size * max(0.0, min(now, job.start_time + job.runtime)
+                                        - job.start_time)
+        return total
+
+    def reset(self) -> None:
+        """Return the cluster to the all-idle initial state."""
+        self._job_of.fill(_FREE)
+        self._avail_at.fill(0.0)
+        self._alloc.clear()
+        self._used_node_seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(nodes={self.num_nodes}, free={self.available_nodes}, "
+            f"running={len(self._alloc)})"
+        )

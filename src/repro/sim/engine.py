@@ -1,0 +1,381 @@
+"""The trace-driven simulation engine.
+
+The engine replays a jobset: ``SUBMIT`` events come from the trace,
+``FINISH`` events from actual job runtimes.  After draining all events
+at a timestamp it invokes the pluggable scheduling policy once — that is
+one *scheduling instance* in the paper's terminology.
+
+The policy interacts with the engine through a :class:`SchedulingView`:
+it inspects the queue and cluster state, then calls
+:meth:`SchedulingView.start` / :meth:`SchedulingView.reserve` to take
+actions.  Effects apply immediately, so a policy that starts jobs one at
+a time (as DRAS does — one job selection per network invocation)
+observes the exact intermediate state before each selection.
+
+Execution-mode attribution follows section III-B:
+
+* ``READY`` — started immediately by a level-1 selection;
+* ``RESERVED`` — the job held the reservation at some point before it
+  started;
+* ``BACKFILLED`` — started while another job held the reservation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+from repro.sim.backfill import BackfillPlanner, Reservation
+from repro.sim.cluster import Cluster
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.job import ExecMode, Job, JobState
+from repro.sim.queue import WaitQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation cannot make progress."""
+
+
+class ActionKind(enum.Enum):
+    START = "start"
+    RESERVE = "reserve"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A record of one scheduling action (kept for observers/analysis)."""
+
+    kind: ActionKind
+    job_id: int
+    time: float
+    mode: ExecMode | None = None
+
+
+class Observer(Protocol):
+    """Callbacks fired by the engine.  All methods are optional."""
+
+    def on_start(self, job: Job, now: float) -> None: ...
+
+    def on_finish(self, job: Job, now: float) -> None: ...
+
+    def on_instance(self, view: "SchedulingView", started: Sequence[Job]) -> None: ...
+
+
+class SchedulingView:
+    """The policy-facing interface of one scheduling instance."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+        self._started: list[Job] = []
+        self._reservation: Reservation | None = None
+        #: job object currently holding the reservation, if any
+        self._reserved_job: Job | None = None
+
+    # -- observations ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._engine.cluster
+
+    @property
+    def free_nodes(self) -> int:
+        return self._engine.cluster.available_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self._engine.cluster.num_nodes
+
+    def waiting(self) -> list[Job]:
+        """Eligible jobs in arrival order."""
+        return self._engine.queue.waiting
+
+    def window(self, size: int) -> list[Job]:
+        """The ``size`` oldest eligible jobs."""
+        return self._engine.queue.window(size)
+
+    @property
+    def reservation(self) -> Reservation | None:
+        """The reservation made in this instance (at most one)."""
+        return self._reservation
+
+    @property
+    def reserved_job(self) -> Job | None:
+        return self._reserved_job
+
+    @property
+    def started(self) -> list[Job]:
+        """Jobs started so far during this instance."""
+        return list(self._started)
+
+    def backfill_candidates(self, pool: list[Job] | None = None) -> list[Job]:
+        """Waiting jobs that may legally backfill the active reservation."""
+        if self._reservation is None:
+            raise SimulationError("backfill_candidates requires a reservation")
+        jobs = self.waiting() if pool is None else pool
+        return self._engine.planner.candidates(jobs, self._reservation, self.now)
+
+    # -- actions ----------------------------------------------------------------
+    def start(self, job: Job, mode: ExecMode | None = None) -> Job:
+        """Start ``job`` now.
+
+        ``mode`` defaults to automatic attribution: ``RESERVED`` if the
+        job ever held a reservation, ``BACKFILLED`` if another job holds
+        the reservation right now, otherwise ``READY``.
+        """
+        if job.state is not JobState.WAITING:
+            raise SimulationError(f"job {job.job_id} is not waiting")
+        if job.size > self.free_nodes:
+            raise SimulationError(
+                f"job {job.job_id} (size {job.size}) does not fit in "
+                f"{self.free_nodes} free nodes"
+            )
+        if self._reservation is not None and job.job_id != self._reservation.job_id:
+            if not self._reservation.allows(job, self.now, self.free_nodes):
+                raise SimulationError(
+                    f"job {job.job_id} would delay the reservation for "
+                    f"job {self._reservation.job_id}"
+                )
+        if mode is None:
+            if job.ever_reserved:
+                mode = ExecMode.RESERVED
+            elif self._reservation is not None:
+                mode = ExecMode.BACKFILLED
+            else:
+                mode = ExecMode.READY
+        self._engine._start_job(job, mode)
+        self._started.append(job)
+        if self._reserved_job is job:
+            self._reservation = None
+            self._reserved_job = None
+        return job
+
+    def reserve(self, job: Job) -> Reservation:
+        """Reserve resources for a blocked job (one reservation at most)."""
+        if self._reservation is not None:
+            raise SimulationError("a reservation already exists in this instance")
+        if job.state is not JobState.WAITING:
+            raise SimulationError(f"job {job.job_id} is not waiting")
+        if job.size <= self.free_nodes:
+            raise SimulationError(
+                f"job {job.job_id} fits right now; start it instead of reserving"
+            )
+        reservation = self._engine.planner.reserve(job, self.now)
+        job.ever_reserved = True
+        self._reservation = reservation
+        self._reserved_job = job
+        self._engine._record(Action(ActionKind.RESERVE, job.job_id, self.now))
+        return reservation
+
+
+class Scheduler(Protocol):
+    """The pluggable policy interface.
+
+    A scheduler is invoked once per scheduling instance and takes its
+    actions by calling methods on the view.  Implementations live in
+    :mod:`repro.schedulers` (heuristics) and :mod:`repro.core` (DRAS).
+    """
+
+    name: str
+
+    def schedule(self, view: SchedulingView) -> None: ...
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    jobs: list[Job]
+    makespan: float
+    first_submit: float
+    num_instances: int
+    num_nodes: int
+    actions: list[Action] = field(default_factory=list)
+
+    @property
+    def finished_jobs(self) -> list[Job]:
+        return [j for j in self.jobs if j.state is JobState.FINISHED]
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock span of the run (first submission to last finish)."""
+        return max(0.0, self.makespan - self.first_submit)
+
+
+class Engine:
+    """Event-driven scheduling simulator.
+
+    Parameters
+    ----------
+    cluster:
+        The node pool.  It is reset to all-idle when the run starts
+        (each training episode starts from the initial state, §III-C).
+    scheduler:
+        The policy invoked at every scheduling instance.
+    jobs:
+        The jobset to replay.  Jobs must be in the ``PENDING`` state.
+    observers:
+        Optional metric recorders / reward meters.
+    max_time:
+        Optional simulation-time horizon; events beyond it are dropped
+        and still-running jobs are left unfinished in the result.
+    record_actions:
+        Keep a full action log in the result (off by default to bound
+        memory on long runs).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        jobs: Iterable[Job],
+        observers: Sequence[Observer] = (),
+        max_time: float | None = None,
+        record_actions: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.queue = WaitQueue()
+        self.planner = BackfillPlanner(cluster)
+        self.events = EventQueue()
+        self.observers = list(observers)
+        self.max_time = max_time
+        self.now = 0.0
+        self.num_instances = 0
+        self._jobs: dict[int, Job] = {}
+        self._running: dict[int, Job] = {}
+        self._record_actions = record_actions
+        self._actions: list[Action] = []
+
+        for job in jobs:
+            if job.state is not JobState.PENDING:
+                raise ValueError(
+                    f"job {job.job_id} must be PENDING (got {job.state}); "
+                    "use Job.copy_fresh() to reuse a jobset"
+                )
+            if job.size > cluster.num_nodes:
+                raise ValueError(
+                    f"job {job.job_id} (size {job.size}) can never fit on a "
+                    f"{cluster.num_nodes}-node cluster"
+                )
+            if job.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job.job_id}")
+            self._jobs[job.job_id] = job
+
+    # -- internal hooks used by the view ----------------------------------------
+    def _record(self, action: Action) -> None:
+        if self._record_actions:
+            self._actions.append(action)
+
+    def _start_job(self, job: Job, mode: ExecMode) -> None:
+        self.queue.remove(job)
+        self.cluster.allocate(job, self.now)
+        job.mark_started(self.now, mode)
+        self._running[job.job_id] = job
+        self.events.push(self.now + job.runtime, EventKind.FINISH, job.job_id)
+        self._record(Action(ActionKind.START, job.job_id, self.now, mode))
+        for obs in self.observers:
+            handler = getattr(obs, "on_start", None)
+            if handler is not None:
+                handler(job, self.now)
+
+    def _finish_job(self, job: Job) -> None:
+        self.cluster.release(job)
+        job.mark_finished(self.now)
+        del self._running[job.job_id]
+        self.queue.notify_finished(job)
+        for obs in self.observers:
+            handler = getattr(obs, "on_finish", None)
+            if handler is not None:
+                handler(job, self.now)
+
+    @property
+    def running_jobs(self) -> dict[int, Job]:
+        return dict(self._running)
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Replay the jobset to completion and return the result."""
+        self.cluster.reset()
+        self.queue.clear()
+        self.events.clear()
+        self.now = 0.0
+        self.num_instances = 0
+        self._actions = []
+
+        first_submit = 0.0
+        if self._jobs:
+            first_submit = min(j.submit_time for j in self._jobs.values())
+        for job in self._jobs.values():
+            self.events.push(job.submit_time, EventKind.SUBMIT, job.job_id)
+
+        hook = getattr(self.scheduler, "on_simulation_start", None)
+        if hook is not None:
+            hook(self)
+
+        while self.events:
+            if self.max_time is not None and self.events.peek().time > self.max_time:
+                break
+            batch = self.events.pop_simultaneous()
+            self.now = batch[0].time
+            for event in batch:
+                job = self._jobs[event.job_id]
+                if event.kind is EventKind.FINISH:
+                    self._finish_job(job)
+                else:
+                    self.queue.submit(job)
+            self._run_instance()
+
+        if len(self.queue) > 0 and not self._running:
+            stuck = [j.job_id for j in self.queue.waiting]
+            raise SimulationError(
+                f"simulation stalled with waiting jobs {stuck[:5]} and an idle "
+                "cluster; the policy failed to start any runnable job"
+            )
+
+        hook = getattr(self.scheduler, "on_simulation_end", None)
+        if hook is not None:
+            hook(self)
+
+        return SimulationResult(
+            jobs=list(self._jobs.values()),
+            makespan=self.now,
+            first_submit=first_submit,
+            num_instances=self.num_instances,
+            num_nodes=self.cluster.num_nodes,
+            actions=self._actions,
+        )
+
+    def _run_instance(self) -> None:
+        """Invoke the policy once (one scheduling instance)."""
+        self.num_instances += 1
+        view = SchedulingView(self)
+        self.scheduler.schedule(view)
+        for obs in self.observers:
+            handler = getattr(obs, "on_instance", None)
+            if handler is not None:
+                handler(view, view.started)
+
+
+def run_simulation(
+    num_nodes: int,
+    scheduler: Scheduler,
+    jobs: Iterable[Job],
+    observers: Sequence[Observer] = (),
+    max_time: float | None = None,
+    record_actions: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: build a cluster + engine and run it."""
+    cluster = Cluster(num_nodes)
+    engine = Engine(
+        cluster,
+        scheduler,
+        jobs,
+        observers=observers,
+        max_time=max_time,
+        record_actions=record_actions,
+    )
+    return engine.run()

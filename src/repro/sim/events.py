@@ -1,0 +1,84 @@
+"""Discrete-event machinery for the trace-driven simulator.
+
+A binary heap orders events by ``(time, priority, sequence)``.  The
+sequence number makes the ordering total and deterministic, which keeps
+whole simulations reproducible bit-for-bit — essential for RL training
+(same seed, same trajectory) and for regression tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of simulator events.
+
+    The integer values double as tie-breaking priorities for events at
+    the same timestamp: completions are processed before arrivals so a
+    job finishing at time *t* frees its nodes before jobs arriving at
+    *t* are considered.
+    """
+
+    FINISH = 0
+    SUBMIT = 1
+
+
+@dataclass(order=True)
+class Event:
+    time: float
+    kind: EventKind
+    seq: int = field(compare=True)
+    job_id: int = field(compare=False, default=-1)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, kind: EventKind, job_id: int) -> Event:
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(float(time), kind, next(self._seq), job_id)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        if not self._heap:
+            raise IndexError("peek at empty event queue")
+        return self._heap[0]
+
+    def pop_simultaneous(self) -> list[Event]:
+        """Pop every event sharing the earliest timestamp.
+
+        The simulator treats all events at one timestamp as a single
+        scheduling instance: first apply all completions and arrivals,
+        then invoke the policy once.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        first = self.pop()
+        batch = [first]
+        while self._heap and self._heap[0].time == first.time:
+            batch.append(self.pop())
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()

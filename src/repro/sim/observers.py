@@ -1,0 +1,118 @@
+"""Reusable engine observers for instrumentation and analysis.
+
+Observers receive ``on_start`` / ``on_finish`` / ``on_instance``
+callbacks from the engine (all optional).  These recorders capture the
+time series that the experiments and ad-hoc analyses need: queue depth,
+node occupancy, and a structured event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.engine import SchedulingView
+from repro.sim.job import Job
+
+
+class QueueDepthRecorder:
+    """Samples the wait-queue depth at every scheduling instance."""
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.depths: list[int] = []
+        self.held: list[int] = []
+
+    def on_instance(self, view: SchedulingView, started) -> None:
+        self.times.append(view.now)
+        self.depths.append(len(view.waiting()))
+        self.held.append(view._engine.queue.total_pending - len(view.waiting()))
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.depths, default=0)
+
+    def mean_depth(self) -> float:
+        return float(np.mean(self.depths)) if self.depths else 0.0
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.depths, dtype=np.int64)
+
+
+class UtilizationTimeline:
+    """Piecewise-constant node-occupancy timeline.
+
+    Records a ``(time, used_nodes)`` step whenever occupancy changes,
+    enabling exact time-weighted utilization over any interval.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+        self._times: list[float] = [0.0]
+        self._used: list[int] = [0]
+
+    def _record(self, now: float, used: int) -> None:
+        if now < self._times[-1]:
+            raise ValueError("time went backwards")
+        if now == self._times[-1]:
+            self._used[-1] = used
+        else:
+            self._times.append(now)
+            self._used.append(used)
+
+    def on_start(self, job: Job, now: float) -> None:
+        self._record(now, self._used[-1] + job.size)
+
+    def on_finish(self, job: Job, now: float) -> None:
+        self._record(now, self._used[-1] - job.size)
+
+    def utilization_between(self, t0: float, t1: float) -> float:
+        """Exact time-weighted utilization over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        times = np.asarray(self._times)
+        used = np.asarray(self._used, dtype=np.float64)
+        # integrate the step function over [t0, t1]
+        edges = np.concatenate([[t0], times[(times > t0) & (times < t1)], [t1]])
+        # value on each sub-interval = last step at or before its left edge
+        idx = np.searchsorted(times, edges[:-1], side="right") - 1
+        idx = np.clip(idx, 0, used.size - 1)
+        integral = float(np.sum(used[idx] * np.diff(edges)))
+        return integral / (self.num_nodes * (t1 - t0))
+
+    def steps(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self._times), np.asarray(self._used, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    time: float
+    kind: str           #: "start" | "finish"
+    job_id: int
+    size: int
+    mode: str | None = None
+
+
+@dataclass
+class EventLog:
+    """Structured start/finish log for offline inspection."""
+
+    events: list[LoggedEvent] = field(default_factory=list)
+
+    def on_start(self, job: Job, now: float) -> None:
+        self.events.append(
+            LoggedEvent(now, "start", job.job_id, job.size,
+                        job.mode.value if job.mode else None)
+        )
+
+    def on_finish(self, job: Job, now: float) -> None:
+        self.events.append(LoggedEvent(now, "finish", job.job_id, job.size))
+
+    def starts(self) -> list[LoggedEvent]:
+        return [e for e in self.events if e.kind == "start"]
+
+    def finishes(self) -> list[LoggedEvent]:
+        return [e for e in self.events if e.kind == "finish"]

@@ -1,0 +1,97 @@
+"""Wait-queue management with dependency gating and window extraction.
+
+The queue is kept in arrival order (FCFS order).  Jobs with unfinished
+dependencies are *held* — hidden from scheduling until all parents have
+executed, exactly as the Theta scheduler does (paper section IV-C).
+
+The *window* at the front of the queue is the mechanism DRAS uses to
+alleviate starvation: only the ``W`` oldest eligible jobs are visible to
+the level-1 network, giving older jobs structurally higher priority
+(paper section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.sim.job import Job, JobState
+
+
+class WaitQueue:
+    """Arrival-ordered wait queue with dependency holding."""
+
+    def __init__(self) -> None:
+        #: eligible jobs in arrival order
+        self._waiting: list[Job] = []
+        #: submitted jobs blocked on dependencies
+        self._held: list[Job] = []
+        #: ids of all finished jobs, for dependency resolution
+        self._finished: set[int] = set()
+
+    # -- submission / release ---------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Add a newly arrived job, holding it if dependencies are open."""
+        if job.state not in (JobState.PENDING,):
+            raise RuntimeError(f"job {job.job_id} resubmitted (state {job.state})")
+        if self._deps_met(job):
+            job.state = JobState.WAITING
+            self._waiting.append(job)
+        else:
+            job.state = JobState.HELD
+            self._held.append(job)
+
+    def notify_finished(self, job: Job) -> None:
+        """Record a completion and release any dependents it unblocks.
+
+        Released jobs are appended in submit-time order so the queue
+        remains sorted by effective arrival.
+        """
+        self._finished.add(job.job_id)
+        released = [j for j in self._held if self._deps_met(j)]
+        if not released:
+            return
+        self._held = [j for j in self._held if not self._deps_met(j)]
+        released.sort(key=lambda j: (j.submit_time, j.job_id))
+        for j in released:
+            j.state = JobState.WAITING
+            self._waiting.append(j)
+
+    def _deps_met(self, job: Job) -> bool:
+        return all(dep in self._finished for dep in job.dependencies)
+
+    # -- scheduling access ---------------------------------------------------
+    def remove(self, job: Job) -> None:
+        """Remove a job that has been selected to start."""
+        try:
+            self._waiting.remove(job)
+        except ValueError:
+            raise RuntimeError(f"job {job.job_id} is not waiting") from None
+
+    def window(self, size: int) -> list[Job]:
+        """The ``size`` oldest eligible jobs (the paper's window)."""
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        return self._waiting[:size]
+
+    @property
+    def waiting(self) -> list[Job]:
+        """All eligible jobs in arrival order (a copy)."""
+        return list(self._waiting)
+
+    @property
+    def held(self) -> list[Job]:
+        return list(self._held)
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def total_pending(self) -> int:
+        """Waiting plus held jobs."""
+        return len(self._waiting) + len(self._held)
+
+    def __contains__(self, job: Job) -> bool:
+        return job in self._waiting
+
+    def clear(self) -> None:
+        self._waiting.clear()
+        self._held.clear()
+        self._finished.clear()

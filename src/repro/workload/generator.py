@@ -1,0 +1,189 @@
+"""Building blocks for synthetic workload generation.
+
+Synthetic jobsets (training phase 3, §III-C) must mimic the target
+system's workload patterns "in terms of hourly and daily job arrivals,
+and distributions of job sizes and runtimes" (Fig. 3).  These pieces
+are modelled independently:
+
+* arrival times — homogeneous Poisson or a non-homogeneous Poisson
+  process with hour-of-day and day-of-week intensity profiles (sampled
+  by thinning);
+* job sizes — a categorical mix over discrete node counts;
+* runtimes — lognormal, clipped to the system's runtime cap, with a
+  multiplicative user over-estimation factor producing the walltime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson arrival process.
+
+    ``rate`` is in arrivals per second.  Used for the *sampled* training
+    jobsets, which model arrivals with the average inter-arrival time of
+    the original trace (§IV-D).
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def sample(self, n: int, rng: np.random.Generator, start: float = 0.0) -> np.ndarray:
+        """``n`` ordered arrival times starting at ``start``."""
+        gaps = rng.exponential(1.0 / self.rate, size=n)
+        return start + np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Non-homogeneous Poisson process with daily/weekly seasonality.
+
+    The instantaneous rate at time ``t`` is
+    ``base_rate * hourly[hour(t)] * daily[weekday(t)]`` where the two
+    profiles are normalized to mean 1.  Sampling uses Lewis-Shedler
+    thinning against the peak rate.
+    """
+
+    base_rate: float
+    hourly: tuple[float, ...] = field(default=tuple([1.0] * 24))
+    daily: tuple[float, ...] = field(default=tuple([1.0] * 7))
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if len(self.hourly) != 24:
+            raise ValueError("hourly profile must have 24 entries")
+        if len(self.daily) != 7:
+            raise ValueError("daily profile must have 7 entries")
+        if any(h < 0 for h in self.hourly) or any(d < 0 for d in self.daily):
+            raise ValueError("profile weights must be non-negative")
+        if max(self.hourly) == 0 or max(self.daily) == 0:
+            raise ValueError("profiles must not be identically zero")
+        # normalize to mean 1 so base_rate is the long-run average rate
+        object.__setattr__(
+            self, "hourly", tuple(np.array(self.hourly) / np.mean(self.hourly))
+        )
+        object.__setattr__(
+            self, "daily", tuple(np.array(self.daily) / np.mean(self.daily))
+        )
+
+    def rate_at(self, t: float) -> float:
+        hour = int((t % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+        day = int((t // SECONDS_PER_DAY) % 7)
+        return self.base_rate * self.hourly[hour] * self.daily[day]
+
+    def sample(self, n: int, rng: np.random.Generator, start: float = 0.0) -> np.ndarray:
+        peak = self.base_rate * max(self.hourly) * max(self.daily)
+        times = np.empty(n)
+        t = start
+        produced = 0
+        while produced < n:
+            # draw candidate gaps in blocks for speed
+            block = max(64, n - produced)
+            gaps = rng.exponential(1.0 / peak, size=block)
+            accepts = rng.random(block)
+            for gap, u in zip(gaps, accepts):
+                t += gap
+                if u <= self.rate_at(t) / peak:
+                    times[produced] = t
+                    produced += 1
+                    if produced == n:
+                        break
+        return times
+
+
+@dataclass(frozen=True)
+class CategoricalSizes:
+    """Categorical distribution over discrete job sizes (node counts)."""
+
+    sizes: tuple[int, ...]
+    probs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.probs):
+            raise ValueError("sizes and probs must have equal length")
+        if not self.sizes:
+            raise ValueError("at least one size category is required")
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError("sizes must be positive")
+        if any(p < 0 for p in self.probs):
+            raise ValueError("probabilities must be non-negative")
+        total = float(sum(self.probs))
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        object.__setattr__(self, "probs", tuple(p / total for p in self.probs))
+
+    @classmethod
+    def from_dict(cls, mix: dict[int, float]) -> "CategoricalSizes":
+        items = sorted(mix.items())
+        return cls(tuple(s for s, _ in items), tuple(p for _, p in items))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.choice(np.array(self.sizes), size=n, p=np.array(self.probs))
+
+    def mean(self) -> float:
+        return float(np.dot(self.sizes, self.probs))
+
+
+@dataclass(frozen=True)
+class LognormalRuntimes:
+    """Lognormal runtime distribution with a walltime over-estimation model.
+
+    ``median`` and ``sigma`` parameterize the lognormal of the *actual*
+    runtime, clipped to ``[min_runtime, max_runtime]``.  The
+    user-requested walltime is ``runtime * (1 + overestimate)`` where
+    ``overestimate`` is exponential with mean ``mean_overestimate`` —
+    production studies consistently find heavy-tailed over-estimation.
+    The walltime is clipped to ``max_runtime`` (the system cap) and
+    floored at the runtime.
+    """
+
+    median: float
+    sigma: float
+    max_runtime: float
+    min_runtime: float = 60.0
+    mean_overestimate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise ValueError("median and sigma must be positive")
+        if self.max_runtime < self.min_runtime:
+            raise ValueError("max_runtime must be >= min_runtime")
+        if self.mean_overestimate < 0:
+            raise ValueError("mean_overestimate must be >= 0")
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(runtimes, walltimes)`` arrays of length ``n``."""
+        runtimes = rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=n)
+        runtimes = np.clip(runtimes, self.min_runtime, self.max_runtime)
+        over = rng.exponential(self.mean_overestimate, size=n)
+        walltimes = np.minimum(runtimes * (1.0 + over), self.max_runtime)
+        walltimes = np.maximum(walltimes, runtimes)
+        return runtimes, walltimes
+
+
+#: a plausible HPC hour-of-day submission profile: quiet at night,
+#: ramping through the morning, peaking in the afternoon work hours.
+DEFAULT_HOURLY_PROFILE: tuple[float, ...] = (
+    0.45, 0.40, 0.35, 0.33, 0.33, 0.38,
+    0.50, 0.70, 0.95, 1.25, 1.45, 1.55,
+    1.55, 1.60, 1.65, 1.60, 1.50, 1.35,
+    1.20, 1.05, 0.90, 0.75, 0.60, 0.50,
+)
+
+#: weekday-heavy day-of-week profile (index 0 = Monday).
+DEFAULT_DAILY_PROFILE: tuple[float, ...] = (
+    1.20, 1.25, 1.25, 1.20, 1.10, 0.55, 0.45,
+)

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.job import Job
+
+
+def make_job(
+    size: int = 1,
+    walltime: float = 100.0,
+    runtime: float | None = None,
+    submit: float = 0.0,
+    priority: int = 0,
+    deps: tuple[int, ...] = (),
+    job_id: int | None = None,
+) -> Job:
+    """Compact job constructor for tests."""
+    kwargs = dict(
+        size=size,
+        walltime=walltime,
+        runtime=runtime if runtime is not None else walltime,
+        submit_time=submit,
+        priority=priority,
+        dependencies=deps,
+    )
+    if job_id is not None:
+        kwargs["job_id"] = job_id
+    return Job(**kwargs)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(8)
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_job_ids():
+    """Keep auto-assigned job ids deterministic per test."""
+    from repro.sim.job import reset_job_id_counter
+
+    reset_job_id_counter(1000)
+    yield

@@ -1,0 +1,85 @@
+"""Unit tests for EASY-backfilling machinery."""
+
+import pytest
+
+from repro.sim.backfill import BackfillPlanner, Reservation
+from repro.sim.cluster import Cluster
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def loaded_cluster():
+    """8 nodes: 4 busy until t=100, 2 busy until t=300, 2 free."""
+    cluster = Cluster(8)
+    cluster.allocate(make_job(size=4, walltime=100.0), now=0.0)
+    cluster.allocate(make_job(size=2, walltime=300.0), now=0.0)
+    return cluster
+
+
+class TestReserve:
+    def test_reservation_fields(self, loaded_cluster):
+        planner = BackfillPlanner(loaded_cluster)
+        big = make_job(size=6)
+        res = planner.reserve(big, now=0.0)
+        assert res.job_id == big.job_id
+        assert res.size == 6
+        # 2 free + 4 released at t=100 -> shadow at 100
+        assert res.shadow_time == 100.0
+        # at t=100: 6 nodes free, reserved takes 6 -> 0 extra
+        assert res.extra_nodes == 0
+
+    def test_extra_nodes_positive(self, loaded_cluster):
+        planner = BackfillPlanner(loaded_cluster)
+        res = planner.reserve(make_job(size=4), now=0.0)
+        assert res.shadow_time == 100.0
+        assert res.extra_nodes == 2  # 6 free at shadow, 4 reserved
+
+
+class TestAllows:
+    def test_short_job_fits_before_shadow(self):
+        res = Reservation(job_id=1, size=6, shadow_time=100.0, extra_nodes=0)
+        short = make_job(size=2, walltime=50.0)
+        assert res.allows(short, now=0.0, free_nodes=2)
+
+    def test_long_job_blocked_without_extra(self):
+        res = Reservation(job_id=1, size=6, shadow_time=100.0, extra_nodes=0)
+        long_job = make_job(size=2, walltime=500.0)
+        assert not res.allows(long_job, now=0.0, free_nodes=2)
+
+    def test_long_job_allowed_on_extra_nodes(self):
+        res = Reservation(job_id=1, size=6, shadow_time=100.0, extra_nodes=2)
+        long_job = make_job(size=2, walltime=500.0)
+        assert res.allows(long_job, now=0.0, free_nodes=2)
+
+    def test_too_wide_for_extra(self):
+        res = Reservation(job_id=1, size=6, shadow_time=100.0, extra_nodes=1)
+        long_job = make_job(size=2, walltime=500.0)
+        assert not res.allows(long_job, now=0.0, free_nodes=2)
+
+    def test_must_fit_free_nodes(self):
+        res = Reservation(job_id=1, size=6, shadow_time=100.0, extra_nodes=8)
+        job = make_job(size=3, walltime=10.0)
+        assert not res.allows(job, now=0.0, free_nodes=2)
+
+    def test_exact_boundary_allowed(self):
+        res = Reservation(job_id=1, size=6, shadow_time=100.0, extra_nodes=0)
+        job = make_job(size=1, walltime=100.0)  # ends exactly at shadow
+        assert res.allows(job, now=0.0, free_nodes=1)
+
+
+class TestCandidates:
+    def test_order_preserved_and_reserved_excluded(self, loaded_cluster):
+        planner = BackfillPlanner(loaded_cluster)
+        big = make_job(size=6)
+        res = planner.reserve(big, now=0.0)
+        a = make_job(size=1, walltime=50.0)
+        b = make_job(size=2, walltime=20.0)
+        c = make_job(size=2, walltime=9999.0)  # too long, no extra nodes
+        candidates = planner.candidates([big, a, b, c], res, now=0.0)
+        assert candidates == [a, b]
+
+    def test_no_candidates(self, loaded_cluster):
+        planner = BackfillPlanner(loaded_cluster)
+        res = planner.reserve(make_job(size=6), now=0.0)
+        jobs = [make_job(size=5, walltime=10.0)]  # wider than 2 free nodes
+        assert planner.candidates(jobs, res, now=0.0) == []

@@ -1,0 +1,139 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_policy
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("fcfs", "FCFS"), ("binpacking", "BinPacking"), ("random", "Random"),
+         ("knapsack", "Optimization"), ("sjf", "SJF"), ("ljf", "LJF"),
+         ("conservative", "Conservative")],
+    )
+    def test_known_policies(self, name, expected):
+        assert make_policy(name).name == expected
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("slurm")
+
+
+class TestGenerateSimulate:
+    def test_generate_then_simulate(self, tmp_path, capsys):
+        trace = tmp_path / "trace.swf"
+        rc = main(["generate", "theta", "150", "--nodes", "64",
+                   "--out", str(trace)])
+        assert rc == 0
+        assert trace.exists()
+        out = capsys.readouterr().out
+        assert "wrote 150 jobs" in out
+
+        rc = main(["simulate", str(trace), "--nodes", "64",
+                   "--policy", "fcfs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg wait" in out and "utilization" in out
+
+    def test_simulate_all_policies(self, tmp_path, capsys):
+        trace = tmp_path / "trace.swf"
+        main(["generate", "theta", "60", "--nodes", "32", "--out", str(trace)])
+        capsys.readouterr()
+        for policy in ("binpacking", "sjf", "conservative", "knapsack"):
+            rc = main(["simulate", str(trace), "--nodes", "32",
+                       "--policy", policy])
+            assert rc == 0
+
+    def test_simulate_empty_trace_fails(self, tmp_path, capsys):
+        trace = tmp_path / "empty.swf"
+        trace.write_text("; nothing here\n")
+        rc = main(["simulate", str(trace), "--nodes", "8"])
+        assert rc == 1
+
+    def test_load_factor(self, tmp_path, capsys):
+        a, b = tmp_path / "a.swf", tmp_path / "b.swf"
+        main(["generate", "theta", "200", "--nodes", "64", "--out", str(a),
+              "--load-factor", "0.5"])
+        main(["generate", "theta", "200", "--nodes", "64", "--out", str(b),
+              "--load-factor", "2.0"])
+        from repro.workload import read_swf
+
+        span_a = read_swf(a)[-1].submit_time
+        span_b = read_swf(b)[-1].submit_time
+        assert span_b < span_a
+
+
+class TestTrainEvaluate:
+    def test_train_then_evaluate(self, tmp_path, capsys):
+        ckpt = tmp_path / "agent.npz"
+        rc = main([
+            "train", "--system", "theta", "--agent", "dql",
+            "--nodes", "32", "--window", "6", "--train-jobs", "150",
+            "--sampled", "1", "--real", "1", "--synthetic", "1",
+            "--jobs-per-set", "50", "--out", str(ckpt),
+        ])
+        assert rc == 0
+        assert ckpt.exists()
+        out = capsys.readouterr().out
+        assert "trained 3 episodes" in out
+
+        trace = tmp_path / "test.swf"
+        main(["generate", "theta", "80", "--nodes", "32", "--out", str(trace)])
+        capsys.readouterr()
+        rc = main(["evaluate", str(ckpt), str(trace), "--frozen"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DRAS-DQL" in out and "avg wait" in out
+
+
+class TestFit:
+    def test_fit_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "real.swf"
+        main(["generate", "theta", "400", "--nodes", "64", "--out", str(trace)])
+        capsys.readouterr()
+        out = tmp_path / "fitted.swf"
+        rc = main(["fit", str(trace), "--nodes", "64", "--jobs", "200",
+                   "--out", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "arrival rate" in stdout
+        assert "wrote 200 fitted synthetic jobs" in stdout
+        from repro.workload import read_swf
+
+        assert len(read_swf(out)) == 200
+
+    def test_fit_tiny_trace_fails(self, tmp_path, capsys):
+        trace = tmp_path / "one.swf"
+        fields = [1, 0, -1, 50, 4, -1, -1, 4, 100, -1, 1, 1, -1, -1, 0, -1, -1, -1]
+        trace.write_text(" ".join(map(str, fields)) + "\n")
+        rc = main(["fit", str(trace), "--nodes", "8", "--out",
+                   str(tmp_path / "x.swf")])
+        assert rc == 1
+
+
+class TestReproduce:
+    def test_reproduce_table1(self, capsys):
+        rc = main(["reproduce", "table1"])
+        assert rc == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_reproduce_table3_with_out(self, tmp_path, capsys):
+        out_file = tmp_path / "t3.txt"
+        rc = main(["reproduce", "table3", "--out", str(out_file)])
+        assert rc == 0
+        assert "21,890,053" in out_file.read_text()
+
+    def test_reproduce_fig2_tiny(self, capsys):
+        rc = main(["reproduce", "fig2", "--scale", "tiny"])
+        assert rc == 0
+        assert "Fig 2" in capsys.readouterr().out
+
+    def test_reproduce_overhead_scaled(self, capsys):
+        rc = main(["reproduce", "overhead", "--scaled-overhead"])
+        assert rc == 0
+        assert "V-E" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])

@@ -1,0 +1,134 @@
+"""Unit tests for the node pool."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import Cluster
+from tests.conftest import make_job
+
+
+class TestBasics:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_initially_all_free(self, cluster):
+        assert cluster.available_nodes == 8
+        assert cluster.used_nodes == 0
+        assert cluster.running_job_ids == []
+
+    def test_can_fit(self, cluster):
+        assert cluster.can_fit(8)
+        assert not cluster.can_fit(9)
+
+
+class TestAllocation:
+    def test_allocate_reduces_free(self, cluster):
+        job = make_job(size=3)
+        nodes = cluster.allocate(job, now=0.0)
+        assert len(nodes) == 3
+        assert cluster.available_nodes == 5
+        assert cluster.is_running(job.job_id)
+
+    def test_allocate_picks_lowest_indices(self, cluster):
+        job = make_job(size=3)
+        nodes = cluster.allocate(job, now=0.0)
+        assert list(nodes) == [0, 1, 2]
+
+    def test_allocate_overflow_raises(self, cluster):
+        cluster.allocate(make_job(size=6), now=0.0)
+        with pytest.raises(RuntimeError, match="only 2 free"):
+            cluster.allocate(make_job(size=3), now=0.0)
+
+    def test_double_allocate_raises(self, cluster):
+        job = make_job(size=2)
+        cluster.allocate(job, now=0.0)
+        with pytest.raises(RuntimeError, match="already allocated"):
+            cluster.allocate(job, now=1.0)
+
+    def test_release_restores_free(self, cluster):
+        job = make_job(size=5)
+        cluster.allocate(job, now=0.0)
+        cluster.release(job)
+        assert cluster.available_nodes == 8
+        assert not cluster.is_running(job.job_id)
+
+    def test_release_unknown_raises(self, cluster):
+        with pytest.raises(RuntimeError, match="not allocated"):
+            cluster.release(make_job(size=1))
+
+    def test_released_nodes_reusable(self, cluster):
+        a = make_job(size=8)
+        cluster.allocate(a, now=0.0)
+        cluster.release(a)
+        b = make_job(size=8)
+        assert len(cluster.allocate(b, now=1.0)) == 8
+
+
+class TestNodeState:
+    def test_shape(self, cluster):
+        state = cluster.node_state(now=0.0)
+        assert state.shape == (8, 2)
+
+    def test_free_nodes_encoding(self, cluster):
+        state = cluster.node_state(now=0.0)
+        assert np.all(state[:, 0] == 1.0)
+        assert np.all(state[:, 1] == 0.0)
+
+    def test_busy_nodes_encoding(self, cluster):
+        cluster.allocate(make_job(size=3, walltime=100.0), now=10.0)
+        state = cluster.node_state(now=50.0)
+        # nodes 0..2 busy until t=110, i.e. 60 s from now
+        assert np.all(state[:3, 0] == 0.0)
+        assert np.allclose(state[:3, 1], 60.0)
+        assert np.all(state[3:, 0] == 1.0)
+        assert np.all(state[3:, 1] == 0.0)
+
+    def test_remaining_time_never_negative(self, cluster):
+        cluster.allocate(make_job(size=2, walltime=10.0), now=0.0)
+        state = cluster.node_state(now=100.0)  # past the estimate
+        assert np.all(state[:2, 1] == 0.0)
+
+
+class TestShadowTime:
+    def test_fits_now(self, cluster):
+        assert cluster.shadow_time(4, now=7.0) == 7.0
+
+    def test_single_blocking_job(self, cluster):
+        cluster.allocate(make_job(size=6, walltime=100.0), now=0.0)
+        # need 4, free 2 -> wait for the size-6 job's estimate at t=100
+        assert cluster.shadow_time(4, now=0.0) == 100.0
+
+    def test_staggered_releases(self, cluster):
+        cluster.allocate(make_job(size=4, walltime=50.0), now=0.0)   # free at 50
+        cluster.allocate(make_job(size=4, walltime=200.0), now=0.0)  # free at 200
+        assert cluster.shadow_time(3, now=0.0) == 50.0
+        assert cluster.shadow_time(4, now=0.0) == 50.0
+        assert cluster.shadow_time(5, now=0.0) == 200.0
+        assert cluster.shadow_time(8, now=0.0) == 200.0
+
+    def test_oversized_raises(self, cluster):
+        with pytest.raises(ValueError, match="exceeds cluster size"):
+            cluster.shadow_time(9, now=0.0)
+
+    def test_free_nodes_at(self, cluster):
+        cluster.allocate(make_job(size=4, walltime=50.0), now=0.0)
+        cluster.allocate(make_job(size=4, walltime=200.0), now=0.0)
+        assert cluster.free_nodes_at(0.0, now=0.0) == 0
+        assert cluster.free_nodes_at(50.0, now=0.0) == 4
+        assert cluster.free_nodes_at(199.0, now=0.0) == 4
+        assert cluster.free_nodes_at(200.0, now=0.0) == 8
+
+
+class TestAccounting:
+    def test_used_node_seconds_after_release(self, cluster):
+        job = make_job(size=4, walltime=100.0, runtime=60.0)
+        cluster.allocate(job, now=0.0)
+        cluster.release(job)
+        assert cluster.used_node_seconds() == 4 * 60.0
+
+    def test_reset(self, cluster):
+        cluster.allocate(make_job(size=4), now=0.0)
+        cluster.reset()
+        assert cluster.available_nodes == 8
+        assert cluster.used_node_seconds() == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for DRAS configuration and Table III dimensions."""
+
+import pytest
+
+from repro.core.config import DRASConfig, NetworkDims, table3_configs
+
+
+class TestNetworkDims:
+    def test_positive_dims_required(self):
+        with pytest.raises(ValueError):
+            NetworkDims(rows=0, hidden1=1, hidden2=1, outputs=1)
+
+    def test_param_count_formula(self):
+        dims = NetworkDims(rows=10, hidden1=8, hidden2=4, outputs=3)
+        assert dims.param_count == 3 + 80 + 32 + 12 + 3
+
+
+class TestTable3:
+    """The exact reproduction of the paper's Table III."""
+
+    def test_theta_pg(self):
+        dims = table3_configs()["theta-pg"]
+        assert (dims.rows, dims.hidden1, dims.hidden2, dims.outputs) == (
+            4460, 4000, 1000, 50,
+        )
+        assert dims.param_count == 21_890_053
+
+    def test_theta_dql(self):
+        dims = table3_configs()["theta-dql"]
+        assert dims.rows == 4362
+        assert dims.param_count == 21_449_004
+
+    def test_cori_pg(self):
+        dims = table3_configs()["cori-pg"]
+        assert (dims.rows, dims.hidden1, dims.hidden2) == (12176, 10000, 4000)
+        assert dims.param_count == 161_960_053
+
+    def test_cori_dql_documented_inconsistency(self):
+        # the paper prints 161,764,004, inconsistent with its own layer
+        # sizes; the architecture that matches the other three cells gives:
+        dims = table3_configs()["cori-dql"]
+        assert dims.param_count == 160_784_004
+
+
+class TestDRASConfig:
+    def test_defaults_follow_paper(self):
+        cfg = DRASConfig(num_nodes=100)
+        assert cfg.window == 50
+        assert cfg.learning_rate == 0.001
+        assert cfg.update_every == 10
+        assert cfg.epsilon_start == 1.0
+        assert cfg.epsilon_decay == 0.995
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRASConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            DRASConfig(num_nodes=10, window=0)
+        with pytest.raises(ValueError):
+            DRASConfig(num_nodes=10, objective="fair")
+        with pytest.raises(ValueError):
+            DRASConfig(num_nodes=10, update_every=0)
+        with pytest.raises(ValueError):
+            DRASConfig(num_nodes=10, epsilon_min=0.9, epsilon_start=0.5)
+        with pytest.raises(ValueError):
+            DRASConfig(num_nodes=10, epsilon_decay=0.0)
+        with pytest.raises(ValueError):
+            DRASConfig(num_nodes=10, gamma=1.5)
+
+    def test_theta_preset(self):
+        cfg = DRASConfig.theta()
+        assert cfg.num_nodes == 4360
+        assert cfg.objective == "capability"
+        assert cfg.pg_dims.rows == 4460
+
+    def test_cori_preset(self):
+        cfg = DRASConfig.cori()
+        assert cfg.num_nodes == 12076
+        assert cfg.objective == "capacity"
+        assert cfg.hidden1 == 10000
+
+    def test_preset_overrides(self):
+        cfg = DRASConfig.theta(window=10, seed=42)
+        assert cfg.window == 10
+        assert cfg.seed == 42
+        assert cfg.num_nodes == 4360
+
+    def test_scaled_tracks_input_size(self):
+        small = DRASConfig.scaled(64)
+        large = DRASConfig.scaled(1024)
+        assert small.hidden1 < large.hidden1
+        assert small.pg_dims.rows == 2 * small.window + 64
+
+    def test_dql_dims(self):
+        cfg = DRASConfig.scaled(64, window=8)
+        assert cfg.dql_dims.rows == 66
+        assert cfg.dql_dims.outputs == 1

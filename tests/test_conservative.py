@@ -1,0 +1,85 @@
+"""Unit + property tests for conservative backfilling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import ConservativeBackfill, FCFSEasy
+from repro.sim.engine import run_simulation
+from repro.sim.job import Job, JobState
+from tests.conftest import make_job
+
+
+class TestBehaviour:
+    def test_behaves_like_fcfs_without_contention(self):
+        jobs_a = [make_job(size=1, walltime=10.0, submit=float(i)) for i in range(4)]
+        jobs_b = [j.copy_fresh() for j in jobs_a]
+        run_simulation(8, ConservativeBackfill(), jobs_a)
+        run_simulation(8, FCFSEasy(), jobs_b)
+        assert [j.start_time for j in jobs_a] == [j.start_time for j in jobs_b]
+
+    def test_backfills_safe_short_job(self):
+        blocker = make_job(size=3, walltime=100.0, submit=0.0)
+        big = make_job(size=4, walltime=10.0, submit=1.0)
+        short = make_job(size=1, walltime=50.0, submit=2.0)
+        run_simulation(4, ConservativeBackfill(), [blocker, big, short])
+        assert short.start_time == pytest.approx(2.0)
+        assert big.start_time == pytest.approx(100.0)
+
+    def test_never_delays_any_planned_job(self):
+        """The defining conservative property: a later small job cannot
+        delay the *second* blocked job either (EASY would let it)."""
+        blocker = make_job(size=3, walltime=100.0, submit=0.0)
+        big1 = make_job(size=4, walltime=10.0, submit=1.0)   # planned at 100
+        big2 = make_job(size=4, walltime=10.0, submit=2.0)   # planned at 110
+        # 1-node job of length 115: ends after big1's start (no extra
+        # nodes), and under conservative it would also delay big2
+        sneaky = make_job(size=1, walltime=115.0, submit=3.0)
+        run_simulation(4, ConservativeBackfill(), [blocker, big1, big2, sneaky])
+        assert big1.start_time == pytest.approx(100.0)
+        assert big2.start_time == pytest.approx(110.0)
+        assert sneaky.start_time >= 120.0 - 1e-6
+
+    def test_all_jobs_finish(self):
+        jobs = [make_job(size=s, walltime=30.0, submit=float(i * 3))
+                for i, s in enumerate((2, 8, 1, 4, 6, 3))]
+        result = run_simulation(8, ConservativeBackfill(), jobs)
+        assert all(j.state is JobState.FINISHED for j in result.jobs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(2, 15),
+)
+def test_property_conservative_no_later_job_hurts(seed, n):
+    """Adding a later-arriving job never delays earlier jobs.
+
+    This is conservative backfilling's contract (and not EASY's, whose
+    backfills can delay non-head queued jobs).
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    base = []
+    t = 0.0
+    for _ in range(n):
+        t += float(rng.exponential(30.0))
+        walltime = float(rng.uniform(10.0, 200.0))
+        base.append(
+            Job(size=int(rng.integers(1, 9)), walltime=walltime,
+                runtime=walltime, submit_time=t)
+        )
+    extra_walltime = float(rng.uniform(10.0, 400.0))
+    extra = Job(size=int(rng.integers(1, 9)), walltime=extra_walltime,
+                runtime=extra_walltime, submit_time=t + 1.0)
+
+    without = [j.copy_fresh() for j in base]
+    run_simulation(8, ConservativeBackfill(), without)
+    with_extra = [j.copy_fresh() for j in base] + [extra.copy_fresh()]
+    run_simulation(8, ConservativeBackfill(), with_extra)
+
+    for a, b in zip(without, with_extra):
+        # actual runtimes equal estimates here, so plans are exact and
+        # the last arrival can never improve or hurt earlier jobs
+        assert b.start_time <= a.start_time + 1e-6

@@ -1,0 +1,73 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.SUBMIT, 1)
+        q.push(2.0, EventKind.SUBMIT, 2)
+        q.push(9.0, EventKind.SUBMIT, 3)
+        assert [q.pop().job_id for _ in range(3)] == [2, 1, 3]
+
+    def test_finish_before_submit_at_same_time(self):
+        # a job finishing at t frees nodes before arrivals at t are seen
+        q = EventQueue()
+        q.push(10.0, EventKind.SUBMIT, 1)
+        q.push(10.0, EventKind.FINISH, 2)
+        assert q.pop().kind is EventKind.FINISH
+
+    def test_fifo_among_identical(self):
+        q = EventQueue()
+        for job_id in (7, 8, 9):
+            q.push(1.0, EventKind.SUBMIT, job_id)
+        assert [q.pop().job_id for _ in range(3)] == [7, 8, 9]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.SUBMIT, 1)
+
+
+class TestSimultaneous:
+    def test_pop_simultaneous_groups_by_time(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SUBMIT, 1)
+        q.push(1.0, EventKind.SUBMIT, 2)
+        q.push(2.0, EventKind.SUBMIT, 3)
+        batch = q.pop_simultaneous()
+        assert [e.job_id for e in batch] == [1, 2]
+        assert len(q) == 1
+
+    def test_pop_simultaneous_single(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SUBMIT, 1)
+        assert len(q.pop_simultaneous()) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().pop_simultaneous()
+
+
+class TestContainer:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.SUBMIT, 1)
+        assert q and len(q) == 1
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(3.0, EventKind.SUBMIT, 1)
+        assert q.peek().job_id == 1
+        assert len(q) == 1
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SUBMIT, 1)
+        q.clear()
+        assert not q

@@ -1,0 +1,231 @@
+"""Smoke + structure tests for every experiment module (tiny scale).
+
+These run the actual harness end-to-end on the tiny scale, verifying
+that each table/figure reproduction produces well-formed, internally
+consistent output.  The qualitative paper-shape assertions live in
+``test_reproduction.py``.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    common,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    overhead,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+SCALE = "tiny"
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+class TestCommon:
+    def test_get_scale(self):
+        assert common.get_scale("tiny").name == "tiny"
+        scale = common.get_scale("default")
+        assert common.get_scale(scale) is scale
+        with pytest.raises(ValueError, match="unknown scale"):
+            common.get_scale("galactic")
+
+    def test_system_setup_cached(self):
+        a = common.system_setup("theta", SCALE, 0)
+        b = common.system_setup("theta", SCALE, 0)
+        assert a is b
+
+    def test_system_setup_unknown(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            common.system_setup("summit", SCALE, 0)
+
+    def test_make_agent_kinds(self):
+        cfg = common.system_setup("theta", SCALE, 0).config
+        assert common.make_agent("pg", cfg).name == "DRAS-PG"
+        assert common.make_agent("dql", cfg).name == "DRAS-DQL"
+        assert common.make_agent("decima", cfg).name == "Decima-PG"
+        with pytest.raises(ValueError):
+            common.make_agent("sarsa", cfg)
+
+    def test_full_comparison_has_all_methods(self):
+        results = common.full_comparison("theta", SCALE, 0)
+        assert set(results) == set(common.METHOD_ORDER)
+        for res in results.values():
+            assert res.metrics.num_jobs > 0
+
+    def test_fresh_trained_agent_is_new_object(self):
+        cached, _ = common.trained_agent("pg", "theta", SCALE, 0)
+        fresh = common.fresh_trained_agent("pg", "theta", SCALE, 0)
+        assert fresh is not cached
+
+
+class TestStaticTables:
+    def test_table1(self):
+        rows = table1.run()
+        report = table1.report(rows)
+        assert "DRAS" in report and "Starvation avoidance" in report
+
+    def test_table2(self):
+        summaries = table2.run(SCALE)
+        assert set(summaries) == {"theta", "cori"}
+        for s in summaries.values():
+            assert s.num_jobs > 0
+            assert s.offered_load > 0
+        assert "Table II" in table2.report(summaries)
+
+    def test_table3_counts(self):
+        rows = table3.run()
+        by_name = {r.name: r for r in rows}
+        assert by_name["theta-pg"].analytic_params == 21_890_053
+        assert by_name["theta-dql"].matches_paper
+        assert by_name["cori-pg"].matches_paper
+        assert not by_name["cori-dql"].matches_paper  # documented
+        assert "paper-inconsistent" in table3.report(rows)
+
+    def test_table3_instantiated_matches_analytic_small(self):
+        # instantiate=True on the real configs is GBs of RAM; verify the
+        # analytic/instantiated agreement through the builder instead
+        import numpy as np
+
+        from repro.core.config import NetworkDims
+        from repro.nn.network import build_dras_network, count_parameters
+
+        dims = NetworkDims(rows=60, hidden1=50, hidden2=12, outputs=5)
+        net = build_dras_network(dims.rows, dims.hidden1, dims.hidden2,
+                                 dims.outputs, rng=np.random.default_rng(0))
+        assert count_parameters(net) == dims.param_count
+
+
+class TestWorkloadFigures:
+    def test_fig2_shares_sum_to_one(self):
+        shares = fig2.run(SCALE)
+        for s in shares.values():
+            assert sum(s.job_share) == pytest.approx(1.0)
+            assert sum(s.core_hour_share) == pytest.approx(1.0)
+        assert "Fig 2" in fig2.report(shares)
+
+    def test_fig2_capability_vs_capacity_shape(self):
+        shares = fig2.run(SCALE)
+        # Cori: the smallest category dominates job counts
+        cori = shares["cori"]
+        assert cori.job_share[0] > 0.5
+        # Theta: larger categories hold a bigger share of core hours
+        # than of job counts (capability computing)
+        theta = shares["theta"]
+        tail_jobs = sum(theta.job_share[2:])
+        tail_hours = sum(theta.core_hour_share[2:])
+        assert tail_hours > tail_jobs
+
+    def test_fig3_patterns(self):
+        patterns = fig3.run(SCALE)
+        assert len(patterns.hourly_arrivals) == 24
+        assert len(patterns.daily_arrivals) == 7
+        assert patterns.size_quantiles["p50"] > 0
+        assert "Fig 3" in fig3.report(patterns)
+
+    def test_fig3_diurnal_shape(self):
+        patterns = fig3.run(SCALE)
+        hourly = patterns.hourly_arrivals
+        # afternoon busier than deep night in the generator profile
+        afternoon = sum(hourly[12:18])
+        night = sum(hourly[0:6])
+        assert afternoon > night
+
+
+class TestTrainingFigures:
+    def test_fig4_structure(self):
+        results = fig4.run(SCALE)
+        assert len(results) == len(fig4.ORDERS)
+        for r in results:
+            assert len(r.validation_curve) == 6  # 2+2+2 jobsets at tiny
+            assert all(math.isfinite(v) for v in r.validation_curve)
+        assert "Fig 4" in fig4.report(results)
+        curves = fig4.history_curves(results)
+        assert len(curves) == 3
+
+    def test_fig5_structure(self):
+        result = fig5.run(SCALE)
+        assert set(result.curves) == {"DRAS-PG", "DRAS-DQL", "Decima-PG"}
+        assert set(result.static_rewards) == {
+            "FCFS", "BinPacking", "Random", "Optimization",
+        }
+        for curve in result.curves.values():
+            assert all(math.isfinite(v) for v in curve)
+        assert "Fig 5" in fig5.report(result)
+
+
+class TestEvaluationFigures:
+    def test_fig6_structure(self):
+        res = fig6.run_system("theta", SCALE)
+        assert set(res.normalized) == set(common.METHOD_ORDER)
+        for vals in res.normalized.values():
+            assert all(0.0 <= v <= 1.0 for v in vals.values())
+        assert all(a >= 0 for a in res.areas.values())
+        assert "Fig 6" in fig6.report({"theta": res})
+
+    def test_fig7_structure(self):
+        results = fig7.run(SCALE)
+        assert set(results) == set(common.METHOD_ORDER)
+        for r in results.values():
+            total = sum(c[0] for c in r.categories.values())
+            assert total > 0
+        assert "Fig 7" in fig7.report(results)
+
+    def test_fig7_starvation_summary(self):
+        summary = fig7.starvation(SCALE)
+        assert set(summary) == set(common.METHOD_ORDER)
+
+    def test_table4_structure(self):
+        rows = table4.run(SCALE)
+        for r in rows:
+            jobs_total = r.backfilled_jobs + r.ready_jobs + r.reserved_jobs
+            ch_total = r.backfilled_ch + r.ready_ch + r.reserved_ch
+            assert jobs_total == pytest.approx(100.0, abs=0.01)
+            assert ch_total == pytest.approx(100.0, abs=0.01)
+        assert "Table IV" in table4.report(rows)
+
+    def test_table4_reservationless_methods(self):
+        rows = {r.method: r for r in table4.run(SCALE)}
+        for name in ("BinPacking", "Random", "Optimization", "Decima-PG"):
+            assert rows[name].ready_jobs == pytest.approx(100.0)
+
+    def test_fig8_structure(self):
+        rows = fig8.run(SCALE)
+        assert [r.method for r in rows] == ["FCFS", "DRAS-PG", "DRAS-DQL"]
+        for r in rows:
+            assert set(r.wait_h) == {"ready", "reserved", "backfilled"}
+        assert "Fig 8" in fig8.report(rows)
+
+    def test_fig9_structure(self):
+        result = fig9.run(SCALE)
+        assert len(result.weeks) >= 4
+        assert len(result.core_hours) == len(result.weeks)
+        for series in result.weekly_wait_h.values():
+            assert len(series) == len(result.weeks)
+        assert "Fig 9" in fig9.report(result)
+
+    def test_fig9_surge_weeks_have_more_work(self):
+        result = fig9.run(SCALE)
+        ch = result.core_hours
+        # week 2 is a 1.7x surge in the profile
+        assert ch[2] > ch[1]
+
+
+class TestOverhead:
+    def test_scaled_measurement(self):
+        results = overhead.run(full_size=False, repeats=1)
+        assert {r.agent for r in results} == {"DRAS-PG", "DRAS-DQL"}
+        for r in results:
+            assert r.decision_s > 0
+            assert r.update_s > 0
+            assert r.within_budget
+        assert "V-E" in overhead.report(results)

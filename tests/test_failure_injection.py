@@ -1,0 +1,138 @@
+"""Failure-injection tests: the engine must reject corrupt behaviour.
+
+A simulator that silently accepts impossible schedules produces
+plausible-looking but meaningless results; every injected fault below
+must surface as a loud, specific error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import FCFSEasy
+from repro.schedulers.base import BaseScheduler
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine, SimulationError, run_simulation
+from repro.sim.job import ExecMode, JobState
+from tests.conftest import make_job
+
+
+class TestMisbehavingPolicies:
+    def test_policy_starting_same_job_twice(self):
+        class DoubleStart(BaseScheduler):
+            name = "double-start"
+
+            def schedule(self, view):
+                waiting = view.waiting()
+                if waiting:
+                    view.start(waiting[0])
+                    view.start(waiting[0])  # corrupt: already started
+
+        job = make_job(size=1, walltime=10.0)
+        with pytest.raises(SimulationError, match="not waiting"):
+            run_simulation(4, DoubleStart(), [job])
+
+    def test_policy_starting_foreign_job(self):
+        class ForeignStart(BaseScheduler):
+            name = "foreign"
+
+            def schedule(self, view):
+                view.start(make_job(size=1, walltime=10.0))
+
+        job = make_job(size=1, walltime=10.0)
+        with pytest.raises(SimulationError, match="not waiting"):
+            run_simulation(4, ForeignStart(), [job])
+
+    def test_policy_reserving_then_squatting(self):
+        """Start a job that would delay the reservation: rejected."""
+
+        class Squatter(BaseScheduler):
+            name = "squatter"
+
+            def schedule(self, view):
+                blocked = [j for j in view.waiting()
+                           if j.size > view.free_nodes]
+                if blocked and view.reservation is None:
+                    view.reserve(blocked[0])
+                # corrupt: ignore the backfill candidate filter entirely
+                for job in view.waiting():
+                    if job.size <= view.free_nodes:
+                        view.start(job)
+
+        blocker = make_job(size=3, walltime=100.0, submit=0.0)
+        big = make_job(size=4, walltime=10.0, submit=1.0)
+        sneaky = make_job(size=1, walltime=9999.0, submit=2.0)
+        with pytest.raises(SimulationError, match="delay the reservation"):
+            run_simulation(4, Squatter(), [blocker, big, sneaky])
+
+    def test_policy_raising_propagates(self):
+        class Exploder(BaseScheduler):
+            name = "exploder"
+
+            def schedule(self, view):
+                raise RuntimeError("policy crashed")
+
+        with pytest.raises(RuntimeError, match="policy crashed"):
+            run_simulation(4, Exploder(), [make_job(size=1)])
+
+
+class TestCorruptJobState:
+    def test_started_job_injected_into_engine(self):
+        job = make_job(size=1, walltime=10.0)
+        job.state = JobState.WAITING
+        job.mark_started(0.0, ExecMode.READY)
+        with pytest.raises(ValueError, match="PENDING"):
+            Engine(Cluster(4), FCFSEasy(), [job])
+
+    def test_cluster_double_release(self):
+        cluster = Cluster(4)
+        job = make_job(size=2, walltime=10.0)
+        cluster.allocate(job, 0.0)
+        cluster.release(job)
+        with pytest.raises(RuntimeError, match="not allocated"):
+            cluster.release(job)
+
+    def test_dependency_cycle_stalls_loudly(self):
+        """Two jobs depending on each other can never run; the engine
+        must finish with both held rather than hanging or crashing."""
+        a = make_job(size=1, walltime=10.0, submit=0.0, deps=(2,), job_id=1)
+        b = make_job(size=1, walltime=10.0, submit=0.0, deps=(1,), job_id=2)
+        filler = make_job(size=1, walltime=5.0, submit=0.0, job_id=3)
+        result = run_simulation(4, FCFSEasy(), [a, b, filler])
+        assert a.state is JobState.HELD
+        assert b.state is JobState.HELD
+        assert filler.state is JobState.FINISHED
+        assert len(result.finished_jobs) == 1
+
+
+class TestNumericRobustness:
+    def test_agent_survives_pathological_feature_scales(self):
+        """Seconds-scale vs hours-scale time units must not produce NaNs."""
+        from repro.core.config import DRASConfig
+        from repro.core.dras_pg import DRASPG
+
+        cfg = DRASConfig(num_nodes=8, window=3, hidden1=8, hidden2=4,
+                         time_scale=1.0, seed=0)  # degenerate normalization
+        agent = DRASPG(cfg)
+        jobs = [make_job(size=2, walltime=86400.0, submit=float(i * 10))
+                for i in range(8)]
+        run_simulation(8, agent, jobs)
+        for p in agent.network.parameters():
+            assert np.all(np.isfinite(p.value)), p.name
+
+    def test_reward_with_zero_wait_queue_head(self):
+        from repro.core.rewards import CapabilityReward
+
+        cluster = Cluster(8)
+        reward = CapabilityReward()
+        # all waits zero: the t_max division must not blow up
+        value = reward([make_job(submit=0.0)], [make_job(submit=0.0)],
+                       cluster, now=0.0)
+        assert np.isfinite(value)
+
+    def test_masked_softmax_handles_huge_logits(self):
+        from repro.nn.losses import masked_softmax
+
+        probs = masked_softmax(np.array([1e308, -1e308]),
+                               np.array([True, True]))
+        assert np.isfinite(probs).all()
+        assert probs.sum() == pytest.approx(1.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the text Gantt renderer."""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.schedulers import FCFSEasy
+from repro.sim.engine import run_simulation
+from tests.conftest import make_job
+
+
+class TestRenderGantt:
+    def test_basic_render(self):
+        jobs = [make_job(size=2, walltime=100.0, submit=0.0),
+                make_job(size=2, walltime=100.0, submit=0.0)]
+        result = run_simulation(4, FCFSEasy(), jobs)
+        out = render_gantt(result, width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("gantt:")
+        assert len(lines) == 4 + 2  # 4 node rows + header + time axis
+        assert "A" in out and "B" in out
+
+    def test_concurrent_jobs_on_distinct_rows(self):
+        a = make_job(size=2, walltime=100.0, submit=0.0)
+        b = make_job(size=2, walltime=100.0, submit=0.0)
+        result = run_simulation(4, FCFSEasy(), [a, b])
+        out = render_gantt(result, width=10)
+        node_lines = out.splitlines()[1:-1]
+        glyph_rows = {line[-10:].strip(".")[0:1] for line in node_lines}
+        assert {"A", "B"} <= glyph_rows
+
+    def test_backfilled_jobs_lowercase(self):
+        blocker = make_job(size=3, walltime=100.0, submit=0.0)
+        big = make_job(size=4, walltime=10.0, submit=1.0)
+        tiny = make_job(size=1, walltime=50.0, submit=2.0)
+        result = run_simulation(4, FCFSEasy(), [blocker, big, tiny])
+        out = render_gantt(result, width=30)
+        assert any(ch.islower() for ch in out if ch.isalpha() and ch != "t")
+
+    def test_row_subsampling(self):
+        jobs = [make_job(size=64, walltime=10.0, submit=0.0)]
+        result = run_simulation(64, FCFSEasy(), jobs)
+        out = render_gantt(result, width=10, max_rows=8)
+        assert len(out.splitlines()) == 8 + 2
+
+    def test_idle_cells_dotted(self):
+        job = make_job(size=1, walltime=10.0, submit=0.0)
+        result = run_simulation(4, FCFSEasy(), [job])
+        out = render_gantt(result, width=10)
+        assert "." in out
+
+    def test_empty_result_rejected(self):
+        result = run_simulation(4, FCFSEasy(), [])
+        with pytest.raises(ValueError, match="no finished jobs"):
+            render_gantt(result)
+
+    def test_validation(self):
+        result = run_simulation(4, FCFSEasy(), [make_job(size=1)])
+        with pytest.raises(ValueError):
+            render_gantt(result, width=0)
+
+    def test_realistic_trace_renders(self, rng):
+        from repro.workload.models import ThetaModel
+
+        model = ThetaModel.scaled(32)
+        jobs = model.generate(60, rng)
+        result = run_simulation(32, FCFSEasy(), jobs)
+        out = render_gantt(result, width=60, max_rows=16)
+        assert len(out.splitlines()) == 16 + 2

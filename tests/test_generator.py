@@ -1,0 +1,164 @@
+"""Unit + property tests for the synthetic workload building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.generator import (
+    CategoricalSizes,
+    DiurnalArrivals,
+    LognormalRuntimes,
+    PoissonArrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_times_sorted_and_positive(self, rng):
+        times = PoissonArrivals(0.1).sample(100, rng)
+        assert np.all(np.diff(times) > 0)
+        assert times[0] > 0
+
+    def test_mean_rate_approximate(self, rng):
+        rate = 0.5
+        times = PoissonArrivals(rate).sample(5000, rng)
+        empirical = len(times) / times[-1]
+        assert empirical == pytest.approx(rate, rel=0.1)
+
+    def test_start_offset(self, rng):
+        times = PoissonArrivals(1.0).sample(10, rng, start=1000.0)
+        assert times[0] > 1000.0
+
+
+class TestDiurnalArrivals:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="24"):
+            DiurnalArrivals(1.0, hourly=(1.0,) * 23)
+        with pytest.raises(ValueError, match="7"):
+            DiurnalArrivals(1.0, daily=(1.0,) * 6)
+        with pytest.raises(ValueError, match="non-negative"):
+            DiurnalArrivals(1.0, hourly=(-1.0,) + (1.0,) * 23)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(0.0)
+
+    def test_profiles_normalized_to_mean_one(self):
+        arr = DiurnalArrivals(1.0, hourly=tuple(range(1, 25)))
+        assert np.mean(arr.hourly) == pytest.approx(1.0)
+
+    def test_rate_at_combines_profiles(self):
+        hourly = [1.0] * 24
+        hourly[12] = 2.0
+        arr = DiurnalArrivals(1.0, hourly=tuple(hourly))
+        noon = 12 * 3600.0
+        midnight = 0.0
+        assert arr.rate_at(noon) > arr.rate_at(midnight)
+
+    def test_long_run_rate_matches_base(self, rng):
+        arr = DiurnalArrivals(
+            0.05,
+            hourly=tuple(1.0 + 0.5 * np.sin(np.arange(24))),
+        )
+        times = arr.sample(4000, rng)
+        empirical = len(times) / times[-1]
+        assert empirical == pytest.approx(0.05, rel=0.15)
+
+    def test_flat_profile_equals_poisson_statistics(self, rng):
+        arr = DiurnalArrivals(0.1)
+        times = arr.sample(3000, rng)
+        gaps = np.diff(times)
+        # exponential gaps: mean ~ 10, cv ~ 1
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.15)
+        assert np.std(gaps) / np.mean(gaps) == pytest.approx(1.0, rel=0.2)
+
+
+class TestCategoricalSizes:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CategoricalSizes((), ())
+        with pytest.raises(ValueError):
+            CategoricalSizes((1, 2), (0.5,))
+        with pytest.raises(ValueError):
+            CategoricalSizes((0,), (1.0,))
+        with pytest.raises(ValueError):
+            CategoricalSizes((1,), (-1.0,))
+        with pytest.raises(ValueError):
+            CategoricalSizes((1,), (0.0,))
+
+    def test_probs_normalized(self):
+        dist = CategoricalSizes((1, 2), (2.0, 6.0))
+        assert dist.probs == pytest.approx((0.25, 0.75))
+
+    def test_from_dict_sorted(self):
+        dist = CategoricalSizes.from_dict({4: 0.5, 1: 0.5})
+        assert dist.sizes == (1, 4)
+
+    def test_sample_values_in_support(self, rng):
+        dist = CategoricalSizes((1, 4, 16), (0.5, 0.3, 0.2))
+        samples = dist.sample(1000, rng)
+        assert set(np.unique(samples)) <= {1, 4, 16}
+
+    def test_sample_frequencies(self, rng):
+        dist = CategoricalSizes((1, 4), (0.8, 0.2))
+        samples = dist.sample(20000, rng)
+        assert np.mean(samples == 1) == pytest.approx(0.8, abs=0.02)
+
+    def test_mean(self):
+        dist = CategoricalSizes((2, 10), (0.5, 0.5))
+        assert dist.mean() == pytest.approx(6.0)
+
+
+class TestLognormalRuntimes:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalRuntimes(median=0, sigma=1, max_runtime=100)
+        with pytest.raises(ValueError):
+            LognormalRuntimes(median=10, sigma=1, max_runtime=5, min_runtime=10)
+        with pytest.raises(ValueError):
+            LognormalRuntimes(median=10, sigma=1, max_runtime=100,
+                              mean_overestimate=-1)
+
+    def test_clipping(self, rng):
+        dist = LognormalRuntimes(median=100.0, sigma=2.0, max_runtime=500.0,
+                                 min_runtime=50.0)
+        runtimes, walltimes = dist.sample(5000, rng)
+        assert runtimes.min() >= 50.0
+        assert runtimes.max() <= 500.0
+        assert walltimes.max() <= 500.0
+
+    def test_walltime_at_least_runtime(self, rng):
+        dist = LognormalRuntimes(median=100.0, sigma=1.0, max_runtime=1000.0)
+        runtimes, walltimes = dist.sample(5000, rng)
+        assert np.all(walltimes >= runtimes)
+
+    def test_median_approximate(self, rng):
+        dist = LognormalRuntimes(median=1000.0, sigma=0.5, max_runtime=1e6,
+                                 min_runtime=1.0)
+        runtimes, _ = dist.sample(20000, rng)
+        assert np.median(runtimes) == pytest.approx(1000.0, rel=0.05)
+
+    def test_overestimation_mean(self, rng):
+        dist = LognormalRuntimes(median=100.0, sigma=0.1, max_runtime=1e9,
+                                 min_runtime=1.0, mean_overestimate=1.0)
+        runtimes, walltimes = dist.sample(20000, rng)
+        ratio = walltimes / runtimes
+        # 1 + Exp(1): mean 2
+        assert np.mean(ratio) == pytest.approx(2.0, rel=0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    probs=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=8),
+    n=st.integers(1, 200),
+)
+def test_categorical_sizes_property(probs, n):
+    """Any positive weighting yields valid samples from the support."""
+    sizes = tuple(2**i for i in range(len(probs)))
+    dist = CategoricalSizes(sizes, tuple(probs))
+    assert sum(dist.probs) == pytest.approx(1.0)
+    samples = dist.sample(n, np.random.default_rng(0))
+    assert len(samples) == n
+    assert set(np.unique(samples)) <= set(sizes)

@@ -1,0 +1,164 @@
+"""Unit + property tests for loss heads and the masked softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.losses import (
+    masked_softmax,
+    mse_loss,
+    policy_gradient_loss,
+    sample_from_probs,
+)
+
+
+class TestMaskedSoftmax:
+    def test_sums_to_one(self):
+        probs = masked_softmax(np.array([1.0, 2.0, 3.0]), np.array([True, True, True]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_masked_entries_zero(self):
+        probs = masked_softmax(
+            np.array([1.0, 100.0, 3.0]), np.array([True, False, True])
+        )
+        assert probs[1] == 0.0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_batch_rows_independent(self):
+        logits = np.array([[1.0, 2.0], [5.0, 5.0]])
+        mask = np.array([[True, True], [True, False]])
+        probs = masked_softmax(logits, mask)
+        assert probs[1, 0] == pytest.approx(1.0)
+        assert probs[0].sum() == pytest.approx(1.0)
+
+    def test_all_masked_row_rejected(self):
+        with pytest.raises(ValueError, match="valid action"):
+            masked_softmax(np.array([1.0, 2.0]), np.array([False, False]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            masked_softmax(np.ones(3), np.ones(2, dtype=bool))
+
+    def test_extreme_logits_stable(self):
+        probs = masked_softmax(
+            np.array([1e6, -1e6, 0.0]), np.array([True, True, True])
+        )
+        assert np.isfinite(probs).all()
+        assert probs[0] == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        logits=hnp.arrays(np.float64, (5,), elements=st.floats(-50, 50)),
+        valid=st.lists(st.booleans(), min_size=5, max_size=5).filter(any),
+    )
+    def test_property_valid_distribution(self, logits, valid):
+        mask = np.array(valid)
+        probs = masked_softmax(logits, mask)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+        assert np.all(probs[~mask] == 0)
+        # monotonicity among valid entries (strictly larger logit ->
+        # at-least-as-large probability; ties can order arbitrarily)
+        vidx = np.flatnonzero(mask)
+        for i in vidx:
+            for j in vidx:
+                if logits[i] > logits[j] + 1e-9:
+                    assert probs[i] >= probs[j] - 1e-12
+
+
+class TestSampleFromProbs:
+    def test_deterministic_on_point_mass(self, rng):
+        assert sample_from_probs(np.array([0.0, 1.0, 0.0]), rng) == 1
+
+    def test_respects_distribution(self, rng):
+        counts = np.zeros(2)
+        for _ in range(2000):
+            counts[sample_from_probs(np.array([0.25, 0.75]), rng)] += 1
+        assert counts[1] / 2000 == pytest.approx(0.75, abs=0.05)
+
+
+class TestPolicyGradientLoss:
+    def test_loss_value(self):
+        logits = np.array([[0.0, 0.0]])
+        masks = np.ones((1, 2), dtype=bool)
+        loss, _ = policy_gradient_loss(logits, masks, np.array([0]), np.array([1.0]))
+        assert loss == pytest.approx(-np.log(0.5))
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(4, 5))
+        masks = np.ones((4, 5), dtype=bool)
+        masks[0, 3] = False
+        actions = np.array([0, 2, 4, 1])
+        adv = rng.normal(size=4)
+        _, grad = policy_gradient_loss(logits, masks, actions, adv)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(5):
+                if not masks[i, j]:
+                    assert grad[i, j] == 0.0
+                    continue
+                pert = logits.copy()
+                pert[i, j] += eps
+                lp, _ = policy_gradient_loss(pert, masks, actions, adv)
+                pert[i, j] -= 2 * eps
+                lm, _ = policy_gradient_loss(pert, masks, actions, adv)
+                numeric = (lp - lm) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_zero_advantage_zero_gradient(self):
+        logits = np.array([[1.0, 2.0]])
+        masks = np.ones((1, 2), dtype=bool)
+        _, grad = policy_gradient_loss(logits, masks, np.array([1]), np.array([0.0]))
+        assert np.allclose(grad, 0.0)
+
+    def test_positive_advantage_raises_chosen_prob(self):
+        logits = np.array([[0.0, 0.0]])
+        masks = np.ones((1, 2), dtype=bool)
+        _, grad = policy_gradient_loss(logits, masks, np.array([0]), np.array([1.0]))
+        # descending the loss raises logit 0 relative to logit 1
+        assert grad[0, 0] < 0 < grad[0, 1]
+
+    def test_masked_action_rejected(self):
+        logits = np.array([[0.0, 0.0]])
+        masks = np.array([[True, False]])
+        with pytest.raises(ValueError, match="invalid"):
+            policy_gradient_loss(logits, masks, np.array([1]), np.array([1.0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="batch"):
+            policy_gradient_loss(
+                np.ones((2, 3)), np.ones((2, 3), dtype=bool),
+                np.array([0]), np.array([1.0, 1.0]),
+            )
+
+
+class TestMSELoss:
+    def test_value_and_gradient(self):
+        pred = np.array([[1.0], [3.0]])
+        target = np.array([[0.0], [1.0]])
+        loss, grad = mse_loss(pred, target)
+        assert loss == pytest.approx((1.0 + 4.0) / 2)
+        assert grad == pytest.approx(np.array([[1.0], [2.0]]))
+
+    def test_perfect_prediction(self):
+        loss, grad = mse_loss(np.ones((3, 1)), np.ones((3, 1)))
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.ones((2, 1)), np.ones((3, 1)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pred=hnp.arrays(np.float64, (4,), elements=st.floats(-10, 10)),
+        target=hnp.arrays(np.float64, (4,), elements=st.floats(-10, 10)),
+    )
+    def test_property_nonnegative_and_gradient_direction(self, pred, target):
+        loss, grad = mse_loss(pred, target)
+        assert loss >= 0
+        # one gradient step with tiny lr cannot increase the loss
+        stepped, _ = mse_loss(pred - 1e-4 * grad, target)
+        assert stepped <= loss + 1e-12

@@ -1,0 +1,130 @@
+"""Unit tests for the network container, builder and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, LeakyReLU
+from repro.nn.network import Network, build_dras_network, count_parameters
+from repro.nn.serialize import load_network, save_network
+
+
+class TestNetwork:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Network([])
+
+    def test_forward_chains_layers(self, rng):
+        net = Network([Dense(3, 2, rng=rng), LeakyReLU(), Dense(2, 1, rng=rng)])
+        y = net.forward(rng.normal(size=(4, 3)))
+        assert y.shape == (4, 1)
+
+    def test_call_alias(self, rng):
+        net = Network([Dense(3, 2, rng=rng)])
+        x = rng.normal(size=(1, 3))
+        assert np.allclose(net(x), net.forward(x))
+
+    def test_zero_grad(self, rng):
+        net = Network([Dense(3, 2, rng=rng)])
+        x = rng.normal(size=(4, 3))
+        net.forward(x)
+        net.backward(np.ones((4, 2)))
+        assert any(np.any(p.grad != 0) for p in net.parameters())
+        net.zero_grad()
+        assert all(np.all(p.grad == 0) for p in net.parameters())
+
+    def test_copy_independent(self, rng):
+        net = Network([Dense(3, 2, rng=rng)])
+        clone = net.copy()
+        clone.parameters()[0].value += 100.0
+        assert not np.allclose(net.parameters()[0].value,
+                               clone.parameters()[0].value)
+
+
+class TestBuildDRASNetwork:
+    def test_layer_structure(self, rng):
+        net = build_dras_network(10, 8, 4, 3, rng=rng)
+        names = [type(layer).__name__ for layer in net.layers]
+        assert names == [
+            "Conv1x2", "Dense", "LeakyReLU", "Dense", "LeakyReLU", "Dense",
+        ]
+
+    def test_forward_shapes(self, rng):
+        net = build_dras_network(10, 8, 4, 3, rng=rng)
+        y = net.forward(rng.normal(size=(5, 10, 2)))
+        assert y.shape == (5, 3)
+
+    @pytest.mark.parametrize(
+        "rows,h1,h2,out",
+        [(10, 8, 4, 3), (50, 40, 10, 1), (100, 90, 22, 20), (7, 5, 3, 2)],
+    )
+    def test_param_count_matches_formula(self, rng, rows, h1, h2, out):
+        """The instantiated count equals the Table III arithmetic."""
+        net = build_dras_network(rows, h1, h2, out, rng=rng)
+        expected = 3 + rows * h1 + h1 * h2 + h2 * out + out
+        assert count_parameters(net) == expected
+
+    def test_hidden_layers_have_no_bias(self, rng):
+        net = build_dras_network(10, 8, 4, 3, rng=rng)
+        fc1, fc2, out = net.layers[1], net.layers[3], net.layers[5]
+        assert fc1.bias is None
+        assert fc2.bias is None
+        assert out.bias is not None
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net = build_dras_network(6, 5, 4, 3, rng=rng)
+        state = net.state_dict()
+        other = build_dras_network(6, 5, 4, 3, rng=np.random.default_rng(999))
+        x = rng.normal(size=(2, 6, 2))
+        assert not np.allclose(net.forward(x), other.forward(x))
+        other.load_state_dict(state)
+        assert np.allclose(net.forward(x), other.forward(x))
+
+    def test_mismatched_keys_rejected(self, rng):
+        net = build_dras_network(6, 5, 4, 3, rng=rng)
+        with pytest.raises(ValueError, match="mismatch"):
+            net.load_state_dict({"bogus": np.ones(3)})
+
+    def test_mismatched_shape_rejected(self, rng):
+        net = build_dras_network(6, 5, 4, 3, rng=rng)
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.ones((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_load_copies_values(self, rng):
+        net = build_dras_network(6, 5, 4, 3, rng=rng)
+        state = net.state_dict()
+        net.load_state_dict(state)
+        state[next(iter(state))] += 1.0
+        # mutating the source dict must not leak into the network
+        assert not np.allclose(
+            net.state_dict()[next(iter(state))], state[next(iter(state))]
+        )
+
+
+class TestSerialize:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        net = build_dras_network(6, 5, 4, 3, rng=rng)
+        path = tmp_path / "model.npz"
+        save_network(net, path)
+        other = build_dras_network(6, 5, 4, 3, rng=np.random.default_rng(1))
+        load_network(other, path)
+        x = rng.normal(size=(2, 6, 2))
+        assert np.allclose(net.forward(x), other.forward(x))
+
+    def test_creates_parent_dirs(self, rng, tmp_path):
+        net = build_dras_network(6, 5, 4, 3, rng=rng)
+        path = tmp_path / "deep" / "dir" / "model.npz"
+        save_network(net, path)
+        assert path.exists()
+
+    def test_wrong_architecture_rejected(self, rng, tmp_path):
+        net = build_dras_network(6, 5, 4, 3, rng=rng)
+        path = tmp_path / "model.npz"
+        save_network(net, path)
+        other = build_dras_network(7, 5, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            load_network(other, path)

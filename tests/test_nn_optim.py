@@ -1,0 +1,98 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_step(param: Parameter) -> float:
+    """Set grad of f(x) = ||x||^2 and return the loss."""
+    param.zero_grad()
+    param.grad += 2 * param.value
+    return float(np.sum(param.value**2))
+
+
+class TestSGD:
+    def test_basic_descent(self):
+        p = Parameter("x", np.array([10.0]))
+        opt = SGD([p], lr=0.1)
+        losses = []
+        for _ in range(50):
+            losses.append(quadratic_step(p))
+            opt.step()
+        assert losses[-1] < losses[0] * 1e-3
+
+    def test_known_update(self):
+        p = Parameter("x", np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad += 2.0
+        opt.step()
+        assert p.value[0] == pytest.approx(0.0)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter("x", np.array([10.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                quadratic_step(p)
+                opt.step()
+            return abs(p.value[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_validation(self):
+        p = Parameter("x", np.ones(1))
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter("x", np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_step(p)
+            opt.step()
+        assert np.all(np.abs(p.value) < 1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # with bias correction, |first step| ~= lr regardless of grad scale
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter("x", np.array([1.0]))
+            opt = Adam([p], lr=0.01)
+            p.grad += scale
+            opt.step()
+            assert abs(1.0 - p.value[0]) == pytest.approx(0.01, rel=1e-4)
+
+    def test_grad_clip_bounds_internal_moment(self):
+        p = Parameter("x", np.array([0.0, 0.0]))
+        opt = Adam([p], lr=0.1, grad_clip=1.0)
+        p.grad += np.array([300.0, 400.0])  # norm 500 -> rescaled to norm 1
+        opt.step()
+        # the first moment reflects the clipped gradient: (1-beta1)*g_clipped
+        m_norm = float(np.linalg.norm(opt._m[0]))
+        assert m_norm == pytest.approx(0.1 * 1.0, rel=1e-6)
+        # and the clipped direction is preserved inside m
+        assert opt._m[0][1] / opt._m[0][0] == pytest.approx(400.0 / 300.0, rel=1e-6)
+
+    def test_zero_grad(self):
+        p = Parameter("x", np.ones(2))
+        opt = Adam([p], lr=0.1)
+        p.grad += 7.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_validation(self):
+        p = Parameter("x", np.ones(1))
+        with pytest.raises(ValueError):
+            Adam([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, beta2=-0.1)

@@ -1,0 +1,96 @@
+"""Unit tests for the priority-rule scheduler family."""
+
+import pytest
+
+from repro.schedulers import ConservativeBackfill, f1_wfp, ljf, sjf, smallest_area_first, unicef
+from repro.schedulers.priority_rules import RuleScheduler
+from repro.sim.engine import run_simulation
+from repro.sim.job import JobState
+from tests.conftest import make_job
+
+
+class TestSJF:
+    def test_orders_by_walltime(self):
+        blocker = make_job(size=4, walltime=50.0, submit=0.0)
+        long = make_job(size=4, walltime=1000.0, submit=1.0)
+        short = make_job(size=4, walltime=10.0, submit=2.0)
+        run_simulation(4, sjf(), [blocker, long, short])
+        assert short.start_time < long.start_time
+
+    def test_tie_breaks_by_arrival(self):
+        a = make_job(size=4, walltime=100.0, submit=0.0)
+        b = make_job(size=4, walltime=100.0, submit=1.0)
+        run_simulation(4, sjf(), [a, b])
+        assert a.start_time < b.start_time
+
+    def test_reserves_blocked_head(self):
+        from repro.sim.job import ExecMode
+
+        blocker = make_job(size=4, walltime=100.0, submit=0.0)
+        short_big = make_job(size=4, walltime=10.0, submit=1.0)
+        run_simulation(4, sjf(), [blocker, short_big])
+        assert short_big.mode is ExecMode.RESERVED
+
+
+class TestLJF:
+    def test_orders_by_size_descending(self):
+        blocker = make_job(size=4, walltime=50.0, submit=0.0)
+        small = make_job(size=1, walltime=100.0, submit=1.0)
+        large = make_job(size=4, walltime=100.0, submit=2.0)
+        run_simulation(4, ljf(), [blocker, small, large])
+        assert large.start_time < small.start_time
+
+
+class TestSAF:
+    def test_orders_by_area(self):
+        wide_short = make_job(size=4, walltime=10.0, submit=0.0)   # area 40
+        narrow_long = make_job(size=1, walltime=30.0, submit=0.0)  # area 30
+        run_simulation(4, smallest_area_first(), [wide_short, narrow_long])
+        # both fit at once here; force contention
+        a = make_job(size=4, walltime=10.0, submit=0.0)    # area 40
+        b = make_job(size=3, walltime=10.0, submit=0.0)    # area 30
+        run_simulation(4, smallest_area_first(), [a, b])
+        assert b.start_time < a.start_time
+
+
+class TestAgingRules:
+    def test_wfp_ages_waiting_jobs(self):
+        """A long-waiting job eventually outranks fresher short jobs."""
+        sched = f1_wfp()
+        old_large = make_job(size=4, walltime=100.0, submit=0.0)
+        # keep the system busy so old_large queues for a while
+        blocker = make_job(size=4, walltime=500.0, submit=0.0)
+        fresh = make_job(size=4, walltime=10.0, submit=499.0)
+        run_simulation(4, sched, [blocker, old_large, fresh])
+        assert old_large.start_time < fresh.start_time
+
+    def test_unicef_favours_small_short(self):
+        sched = unicef()
+        small_short = make_job(size=1, walltime=10.0, submit=0.0)
+        big_long = make_job(size=4, walltime=1000.0, submit=0.0)
+        # contention via a blocker
+        blocker = make_job(size=4, walltime=50.0, submit=0.0)
+        run_simulation(4, sched, [blocker, big_long, small_short])
+        assert small_short.start_time <= big_long.start_time
+
+
+class TestFamilyInvariants:
+    @pytest.mark.parametrize(
+        "factory", [sjf, ljf, smallest_area_first, f1_wfp, unicef],
+        ids=["sjf", "ljf", "saf", "wfp", "unicef"],
+    )
+    def test_all_jobs_finish(self, factory):
+        jobs = [make_job(size=s, walltime=20.0 * (i + 1), submit=float(i * 5))
+                for i, s in enumerate((2, 8, 1, 4, 6, 3))]
+        result = run_simulation(8, factory(), jobs)
+        assert all(j.state is JobState.FINISHED for j in result.jobs)
+
+    def test_custom_rule(self):
+        fifo_clone = RuleScheduler(lambda j, now: j.submit_time, "FIFO2")
+        jobs = [make_job(size=4, walltime=10.0, submit=float(i)) for i in range(3)]
+        run_simulation(4, fifo_clone, jobs)
+        starts = [j.start_time for j in jobs]
+        assert starts == sorted(starts)
+
+    def test_conservative_exported(self):
+        assert ConservativeBackfill().name == "Conservative"

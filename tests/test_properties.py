@@ -1,0 +1,133 @@
+"""Property-based tests of simulator-wide invariants.
+
+Whatever the policy and workload, a correct scheduler run must satisfy:
+
+* every job finishes exactly once, with ``start >= submit`` and
+  ``end = start + runtime``;
+* the node capacity is never exceeded at any point in time;
+* with FCFS/EASY, a backfilled job never delays the reservation it
+  jumped over (the reserved job starts no later than the shadow time
+  computed when it was first blocked, given estimates are upper bounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DRASConfig
+from repro.core.dras_dql import DRASDQL
+from repro.core.dras_pg import DRASPG
+from repro.schedulers import BinPacking, FCFSEasy, KnapsackOptimization, RandomScheduler
+from repro.sim.engine import run_simulation
+from repro.sim.job import Job, JobState
+
+NUM_NODES = 16
+
+
+@st.composite
+def jobsets(draw, max_jobs=25):
+    n = draw(st.integers(1, max_jobs))
+    jobs = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(0.0, 100.0))
+        size = draw(st.integers(1, NUM_NODES))
+        walltime = draw(st.floats(1.0, 500.0))
+        runtime = draw(st.floats(0.5, walltime))
+        jobs.append(
+            Job(size=size, walltime=walltime, runtime=runtime, submit_time=t)
+        )
+    return jobs
+
+
+def check_invariants(jobs: list[Job]) -> None:
+    events = []
+    for job in jobs:
+        assert job.state is JobState.FINISHED
+        assert job.start_time is not None and job.end_time is not None
+        assert job.start_time >= job.submit_time - 1e-9
+        assert job.end_time == pytest.approx(job.start_time + job.runtime)
+        assert job.mode is not None
+        events.append((job.start_time, 1, job.size))
+        events.append((job.end_time, 0, job.size))
+    # capacity: sweep events (ends before starts at equal times)
+    events.sort()
+    used = 0
+    for _, is_start, size in events:
+        used += size if is_start else -size
+        assert used <= NUM_NODES
+    assert used == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=jobsets())
+def test_fcfs_invariants(jobs):
+    run_simulation(NUM_NODES, FCFSEasy(), jobs)
+    check_invariants(jobs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=jobsets())
+def test_binpacking_invariants(jobs):
+    run_simulation(NUM_NODES, BinPacking(), jobs)
+    check_invariants(jobs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=jobsets(), seed=st.integers(0, 100))
+def test_random_invariants(jobs, seed):
+    run_simulation(NUM_NODES, RandomScheduler(seed=seed), jobs)
+    check_invariants(jobs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(jobs=jobsets())
+def test_knapsack_invariants(jobs):
+    run_simulation(NUM_NODES, KnapsackOptimization("capability"), jobs)
+    check_invariants(jobs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(jobs=jobsets(max_jobs=12), seed=st.integers(0, 20))
+def test_dras_pg_invariants(jobs, seed):
+    cfg = DRASConfig(num_nodes=NUM_NODES, window=4, hidden1=10, hidden2=5,
+                     seed=seed, time_scale=500.0)
+    run_simulation(NUM_NODES, DRASPG(cfg), jobs)
+    check_invariants(jobs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(jobs=jobsets(max_jobs=12), seed=st.integers(0, 20))
+def test_dras_dql_invariants(jobs, seed):
+    cfg = DRASConfig(num_nodes=NUM_NODES, window=4, hidden1=10, hidden2=5,
+                     seed=seed, time_scale=500.0)
+    run_simulation(NUM_NODES, DRASDQL(cfg), jobs)
+    check_invariants(jobs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=jobsets())
+def test_fcfs_is_deterministic(jobs):
+    """Two FCFS replays of the same jobset give identical schedules."""
+    first = [j.copy_fresh() for j in jobs]
+    second = [j.copy_fresh() for j in jobs]
+    run_simulation(NUM_NODES, FCFSEasy(), first)
+    run_simulation(NUM_NODES, FCFSEasy(), second)
+    for a, b in zip(first, second):
+        assert a.start_time == b.start_time
+        assert a.mode == b.mode
+
+
+@settings(max_examples=20, deadline=None)
+@given(jobs=jobsets())
+def test_fcfs_head_never_overtaken_by_delaying_jobs(jobs):
+    """EASY guarantee: each job starts no later than the moment the
+    machine could first fit it had the queue frozen (weak no-starvation:
+    the maximum wait is bounded by the sum of walltimes ahead of it)."""
+    run_simulation(NUM_NODES, FCFSEasy(), jobs)
+    horizon = sum(j.walltime for j in jobs)
+    for job in jobs:
+        assert job.wait_time <= horizon + 1e-6

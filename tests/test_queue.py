@@ -1,0 +1,133 @@
+"""Unit tests for the wait queue and dependency gating."""
+
+import pytest
+
+from repro.sim.job import JobState
+from repro.sim.queue import WaitQueue
+from tests.conftest import make_job
+
+
+class TestSubmission:
+    def test_submit_makes_waiting(self):
+        q = WaitQueue()
+        job = make_job()
+        q.submit(job)
+        assert job.state is JobState.WAITING
+        assert len(q) == 1
+
+    def test_resubmit_raises(self):
+        q = WaitQueue()
+        job = make_job()
+        q.submit(job)
+        with pytest.raises(RuntimeError, match="resubmitted"):
+            q.submit(job)
+
+    def test_arrival_order_preserved(self):
+        q = WaitQueue()
+        jobs = [make_job(submit=float(i)) for i in range(5)]
+        for j in jobs:
+            q.submit(j)
+        assert q.waiting == jobs
+
+
+class TestDependencies:
+    def test_open_dependency_holds_job(self):
+        q = WaitQueue()
+        child = make_job(deps=(42,))
+        q.submit(child)
+        assert child.state is JobState.HELD
+        assert len(q) == 0
+        assert q.held == [child]
+        assert q.total_pending == 1
+
+    def test_satisfied_dependency_waits_immediately(self):
+        q = WaitQueue()
+        parent = make_job(job_id=42)
+        q.submit(parent)
+        q.remove(parent)
+        parent.state = JobState.RUNNING
+        parent.state = JobState.FINISHED
+        q.notify_finished(parent)
+        child = make_job(deps=(42,))
+        q.submit(child)
+        assert child.state is JobState.WAITING
+
+    def test_finish_releases_dependents(self):
+        q = WaitQueue()
+        parent = make_job(job_id=7)
+        child = make_job(deps=(7,), submit=5.0)
+        q.submit(parent)
+        q.submit(child)
+        assert child.state is JobState.HELD
+        q.remove(parent)
+        parent.state = JobState.FINISHED
+        q.notify_finished(parent)
+        assert child.state is JobState.WAITING
+        assert q.waiting == [child]
+
+    def test_multi_parent_requires_all(self):
+        q = WaitQueue()
+        p1, p2 = make_job(job_id=1), make_job(job_id=2)
+        child = make_job(deps=(1, 2))
+        for j in (p1, p2, child):
+            q.submit(j)
+        for p in (p1, p2):
+            q.remove(p)
+            p.state = JobState.FINISHED
+        q.notify_finished(p1)
+        assert child.state is JobState.HELD
+        q.notify_finished(p2)
+        assert child.state is JobState.WAITING
+
+    def test_released_jobs_sorted_by_submit_time(self):
+        q = WaitQueue()
+        parent = make_job(job_id=1)
+        late = make_job(deps=(1,), submit=20.0)
+        early = make_job(deps=(1,), submit=10.0)
+        q.submit(parent)
+        q.submit(late)
+        q.submit(early)
+        q.remove(parent)
+        parent.state = JobState.FINISHED
+        q.notify_finished(parent)
+        assert q.waiting == [early, late]
+
+
+class TestWindow:
+    def test_window_prefix(self):
+        q = WaitQueue()
+        jobs = [make_job(submit=float(i)) for i in range(5)]
+        for j in jobs:
+            q.submit(j)
+        assert q.window(3) == jobs[:3]
+
+    def test_window_larger_than_queue(self):
+        q = WaitQueue()
+        job = make_job()
+        q.submit(job)
+        assert q.window(10) == [job]
+
+    def test_window_requires_positive(self):
+        with pytest.raises(ValueError):
+            WaitQueue().window(0)
+
+
+class TestRemoval:
+    def test_remove(self):
+        q = WaitQueue()
+        job = make_job()
+        q.submit(job)
+        q.remove(job)
+        assert len(q) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(RuntimeError, match="not waiting"):
+            WaitQueue().remove(make_job())
+
+    def test_contains(self):
+        q = WaitQueue()
+        job = make_job()
+        q.submit(job)
+        assert job in q
+        q.remove(job)
+        assert job not in q

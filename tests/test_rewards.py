@@ -1,0 +1,135 @@
+"""Unit tests for the reward functions (Eq. 1 / Eq. 2)."""
+
+import pytest
+
+from repro.core.rewards import (
+    CapabilityReward,
+    CapacityReward,
+    job_value,
+    make_reward,
+)
+from repro.sim.cluster import Cluster
+from tests.conftest import make_job
+
+
+class TestCapabilityReward:
+    def test_all_terms_known_values(self):
+        cluster = Cluster(8)
+        cluster.allocate(make_job(size=4, walltime=100.0), now=0.0)
+        reward = CapabilityReward(w1=1.0, w2=0.0, w3=0.0)
+        selected = [make_job(size=2, submit=0.0)]
+        waiting = [make_job(size=1, submit=0.0)]
+        # at now=100: selected queued 100, max wait 100 -> term = 1
+        assert reward(selected, waiting, cluster, 100.0) == pytest.approx(1.0)
+
+    def test_capability_term(self):
+        cluster = Cluster(8)
+        reward = CapabilityReward(w1=0.0, w2=1.0, w3=0.0)
+        selected = [make_job(size=4), make_job(size=2)]
+        assert reward(selected, [], cluster, 0.0) == pytest.approx(3 / 8)
+
+    def test_utilization_term(self):
+        cluster = Cluster(8)
+        cluster.allocate(make_job(size=6, walltime=10.0), now=0.0)
+        reward = CapabilityReward(w1=0.0, w2=0.0, w3=1.0)
+        assert reward([], [], cluster, 0.0) == pytest.approx(6 / 8)
+
+    def test_no_selection_only_utilization(self):
+        cluster = Cluster(8)
+        reward = CapabilityReward()
+        assert reward([], [make_job()], cluster, 0.0) == 0.0
+
+    def test_started_job_uses_actual_wait(self):
+        from repro.sim.job import ExecMode, JobState
+
+        cluster = Cluster(8)
+        job = make_job(size=1, submit=0.0)
+        job.state = JobState.WAITING
+        job.mark_started(60.0, ExecMode.READY)
+        reward = CapabilityReward(w1=1.0, w2=0.0, w3=0.0)
+        # selected job's wait frozen at 60 even though now=120
+        value = reward([job], [make_job(submit=0.0)], cluster, 120.0)
+        assert value == pytest.approx(60.0 / 120.0)
+
+    def test_selecting_starved_job_raises_reward(self):
+        cluster = Cluster(8)
+        reward = CapabilityReward(w1=1.0, w2=0.0, w3=0.0)
+        old = make_job(submit=0.0)
+        fresh = make_job(submit=90.0)
+        waiting = [make_job(submit=0.0)]
+        assert reward([old], waiting, cluster, 100.0) > reward(
+            [fresh], waiting, cluster, 100.0
+        )
+
+
+class TestCapacityReward:
+    def test_empty_queue(self):
+        cluster = Cluster(8)
+        assert CapacityReward()([], [], cluster, 0.0) == 0.0
+
+    def test_short_jobs_penalized_more(self):
+        cluster = Cluster(8)
+        reward = CapacityReward()
+        short_queue = [make_job(walltime=10.0)]
+        long_queue = [make_job(walltime=10000.0)]
+        assert reward([], short_queue, cluster, 0.0) < reward(
+            [], long_queue, cluster, 0.0
+        )
+
+    def test_reward_always_nonpositive(self):
+        cluster = Cluster(8)
+        reward = CapacityReward()
+        waiting = [make_job(walltime=w) for w in (10.0, 100.0, 1000.0)]
+        assert reward([], waiting, cluster, 0.0) < 0
+
+    def test_min_walltime_guard(self):
+        cluster = Cluster(8)
+        reward = CapacityReward(min_walltime=60.0)
+        queue = [make_job(walltime=1.0)]
+        assert reward([], queue, cluster, 0.0) == pytest.approx(-1 / 60.0)
+
+    def test_draining_short_jobs_improves_reward(self):
+        cluster = Cluster(8)
+        reward = CapacityReward()
+        short, long = make_job(walltime=10.0), make_job(walltime=10000.0)
+        with_both = reward([], [short, long], cluster, 0.0)
+        after_short_started = reward([short], [long], cluster, 0.0)
+        assert after_short_started > with_both
+
+
+class TestFactory:
+    def test_make_reward(self):
+        assert isinstance(make_reward("capability"), CapabilityReward)
+        assert isinstance(make_reward("capacity"), CapacityReward)
+
+    def test_kwargs_forwarded(self):
+        reward = make_reward("capability", w1=0.5, w2=0.25, w3=0.25)
+        assert reward.w1 == 0.5
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            make_reward("fairness")
+
+
+class TestJobValue:
+    def test_capability_values(self):
+        cluster = Cluster(8)
+        waiting = [make_job(submit=0.0), make_job(submit=50.0)]
+        old_large = make_job(size=8, submit=0.0)
+        new_small = make_job(size=1, submit=99.0)
+        now = 100.0
+        assert job_value(old_large, "capability", waiting, cluster, now) > job_value(
+            new_small, "capability", waiting, cluster, now
+        )
+
+    def test_capacity_prefers_short(self):
+        cluster = Cluster(8)
+        short = make_job(walltime=10.0)
+        long = make_job(walltime=1000.0)
+        assert job_value(short, "capacity", [], cluster, 0.0) > job_value(
+            long, "capacity", [], cluster, 0.0
+        )
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            job_value(make_job(), "nope", [], Cluster(8), 0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.significance import (
+    BootstrapCI,
+    bootstrap_mean,
+    bootstrap_mean_difference,
+    compare_wait_times,
+)
+from repro.schedulers import BinPacking, FCFSEasy
+from repro.sim.engine import run_simulation
+from tests.conftest import make_job
+
+
+class TestBootstrapMean:
+    def test_ci_contains_true_mean(self, rng):
+        x = rng.normal(10.0, 2.0, size=500)
+        ci = bootstrap_mean(x)
+        assert ci.low <= 10.0 <= ci.high
+        assert ci.estimate == pytest.approx(float(x.mean()))
+
+    def test_ci_narrows_with_sample_size(self, rng):
+        small = bootstrap_mean(rng.normal(0, 1, size=20), seed=1)
+        large = bootstrap_mean(rng.normal(0, 1, size=2000), seed=1)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_degenerate_sample(self):
+        ci = bootstrap_mean([5.0, 5.0, 5.0])
+        assert ci.low == ci.high == ci.estimate == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.normal(size=100)
+        assert bootstrap_mean(x, seed=7) == bootstrap_mean(x, seed=7)
+
+
+class TestBootstrapDifference:
+    def test_paired_detects_shift(self, rng):
+        a = rng.normal(5.0, 1.0, size=300)
+        b = a - 1.0  # perfectly paired constant shift
+        ci = bootstrap_mean_difference(a, b, paired=True)
+        assert ci.estimate == pytest.approx(1.0)
+        assert ci.excludes_zero
+        # paired CI of a constant shift is exact
+        assert ci.high - ci.low < 1e-9
+
+    def test_unpaired_wider_than_paired(self, rng):
+        a = rng.normal(5.0, 2.0, size=300)
+        b = a - 0.5 + rng.normal(0, 0.01, size=300)
+        paired = bootstrap_mean_difference(a, b, paired=True, seed=2)
+        unpaired = bootstrap_mean_difference(a, b, paired=False, seed=2)
+        assert (unpaired.high - unpaired.low) > (paired.high - paired.low)
+
+    def test_no_difference_straddles_zero(self, rng):
+        a = rng.normal(0, 1, size=400)
+        b = rng.permutation(a)
+        ci = bootstrap_mean_difference(a, b, paired=False, seed=3)
+        assert not ci.excludes_zero
+
+    def test_paired_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            bootstrap_mean_difference([1.0, 2.0], [1.0], paired=True)
+
+
+class TestCompareWaitTimes:
+    def test_same_policy_zero_difference(self):
+        jobs = [make_job(size=4, walltime=50.0, submit=float(i * 10))
+                for i in range(10)]
+        r1 = run_simulation(4, FCFSEasy(), [j.copy_fresh() for j in jobs])
+        r2 = run_simulation(4, FCFSEasy(), [j.copy_fresh() for j in jobs])
+        ci = compare_wait_times(r1, r2)
+        assert ci.estimate == 0.0
+        assert not ci.excludes_zero
+
+    def test_different_policies_produce_estimate(self):
+        jobs = [make_job(size=s, walltime=50.0, submit=float(i * 5))
+                for i, s in enumerate((4, 1, 4, 2, 4, 1, 3, 2))]
+        fcfs = run_simulation(4, FCFSEasy(), [j.copy_fresh() for j in jobs])
+        pack = run_simulation(4, BinPacking(), [j.copy_fresh() for j in jobs])
+        ci = compare_wait_times(fcfs, pack)
+        assert np.isfinite(ci.estimate)
+
+    def test_disjoint_runs_rejected(self):
+        a = run_simulation(4, FCFSEasy(), [make_job(size=1, job_id=1)])
+        b = run_simulation(4, FCFSEasy(), [make_job(size=1, job_id=2)])
+        with pytest.raises(ValueError, match="no finished jobs"):
+            compare_wait_times(a, b)
+
+
+class TestBootstrapCI:
+    def test_excludes_zero(self):
+        assert BootstrapCI(1.0, 0.5, 1.5, 0.95).excludes_zero
+        assert BootstrapCI(-1.0, -1.5, -0.5, 0.95).excludes_zero
+        assert not BootstrapCI(0.1, -0.2, 0.4, 0.95).excludes_zero

@@ -1,0 +1,147 @@
+"""Stateful property tests (hypothesis rule-based state machines).
+
+These drive the cluster and wait queue through long random
+allocate/release and submit/finish sequences, checking the class
+invariants after every step — the kind of bookkeeping bugs (leaked
+nodes, double releases, lost jobs) that unit tests rarely reach.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.sim.cluster import Cluster
+from repro.sim.job import Job, JobState
+from repro.sim.queue import WaitQueue
+
+NODES = 16
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    """Random allocate/release sequences against a 16-node cluster."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cluster = Cluster(NODES)
+        self.running: dict[int, Job] = {}
+        self.clock = 0.0
+
+    @rule(size=st.integers(1, NODES), walltime=st.floats(1.0, 1000.0))
+    def allocate(self, size: int, walltime: float) -> None:
+        job = Job(size=size, walltime=walltime, runtime=walltime,
+                  submit_time=self.clock)
+        if size <= self.cluster.available_nodes:
+            nodes = self.cluster.allocate(job, self.clock)
+            assert len(nodes) == size
+            self.running[job.job_id] = job
+        else:
+            try:
+                self.cluster.allocate(job, self.clock)
+            except RuntimeError:
+                pass
+            else:
+                raise AssertionError("oversubscription accepted")
+
+    @precondition(lambda self: self.running)
+    @rule(data=st.data())
+    def release(self, data) -> None:
+        job_id = data.draw(st.sampled_from(sorted(self.running)))
+        job = self.running.pop(job_id)
+        self.cluster.release(job)
+
+    @rule(dt=st.floats(0.1, 100.0))
+    def advance(self, dt: float) -> None:
+        self.clock += dt
+
+    @invariant()
+    def accounting_consistent(self) -> None:
+        used = sum(j.size for j in self.running.values())
+        assert self.cluster.used_nodes == used
+        assert self.cluster.available_nodes == NODES - used
+        assert set(self.cluster.running_job_ids) == set(self.running)
+
+    @invariant()
+    def node_state_consistent(self) -> None:
+        state = self.cluster.node_state(self.clock)
+        assert int(state[:, 0].sum()) == self.cluster.available_nodes
+        # busy nodes expose non-negative availability horizons
+        assert (state[:, 1] >= 0).all()
+
+
+class WaitQueueMachine(RuleBasedStateMachine):
+    """Random submit/start/finish sequences with dependencies."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.queue = WaitQueue()
+        self.waiting: set[int] = set()
+        self.held: set[int] = set()
+        self.finished: set[int] = set()
+        self.all_jobs: dict[int, Job] = {}
+        self._t = 0.0
+
+    @rule(with_dep=st.booleans(), data=st.data())
+    def submit(self, with_dep: bool, data) -> None:
+        deps: tuple[int, ...] = ()
+        if with_dep and self.all_jobs:
+            parent = data.draw(st.sampled_from(sorted(self.all_jobs)))
+            deps = (parent,)
+        self._t += 1.0
+        job = Job(size=1, walltime=10.0, runtime=10.0,
+                  submit_time=self._t, dependencies=deps)
+        self.queue.submit(job)
+        self.all_jobs[job.job_id] = job
+        if set(deps) <= self.finished:
+            self.waiting.add(job.job_id)
+        else:
+            self.held.add(job.job_id)
+
+    @precondition(lambda self: self.waiting)
+    @rule(data=st.data())
+    def start_and_finish(self, data) -> None:
+        job_id = data.draw(st.sampled_from(sorted(self.waiting)))
+        job = self.all_jobs[job_id]
+        self.queue.remove(job)
+        self.waiting.discard(job_id)
+        job.state = JobState.FINISHED
+        self.finished.add(job_id)
+        self.queue.notify_finished(job)
+        # releases propagate to dependents whose parents all finished
+        released = {
+            jid for jid in self.held
+            if set(self.all_jobs[jid].dependencies) <= self.finished
+        }
+        self.held -= released
+        self.waiting |= released
+
+    @invariant()
+    def partitions_match(self) -> None:
+        assert {j.job_id for j in self.queue.waiting} == self.waiting
+        assert {j.job_id for j in self.queue.held} == self.held
+        assert self.queue.total_pending == len(self.waiting) + len(self.held)
+
+    @invariant()
+    def waiting_sorted_by_arrival(self) -> None:
+        submits = [j.submit_time for j in self.queue.waiting]
+        # arrival order is preserved for jobs that were never held;
+        # released jobs are appended, so the list is not globally sorted —
+        # but the *window* must always be a prefix
+        window = self.queue.window(3)
+        assert window == self.queue.waiting[:3]
+        del submits
+
+
+TestClusterMachine = ClusterMachine.TestCase
+TestWaitQueueMachine = WaitQueueMachine.TestCase
+TestClusterMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestWaitQueueMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
