@@ -1,0 +1,34 @@
+"""Correctness tooling for the reproduction: determinism lint + sanitizer.
+
+Two halves, both in service of bit-reproducible simulation and
+numerically sane training:
+
+* :mod:`repro.check.lint` — an AST-based static linter with a pluggable
+  rule registry (:mod:`repro.check.rules`).  It flags the regressions
+  that historically break RL-scheduling reproducibility: global-RNG
+  usage, wall-clock reads, mutable default arguments, exact float
+  comparisons on simulation timestamps, and swallowed exceptions.
+  Run it with ``python -m repro check [paths...]``.
+* :mod:`repro.check.sanitize` — runtime assertion hooks enabled via the
+  ``REPRO_SANITIZE=1`` environment variable or ``Engine(sanitize=True)``,
+  verifying node conservation, event-time monotonicity, metric
+  non-negativity and NaN/Inf-free network math while a run executes.
+"""
+
+from __future__ import annotations
+
+from repro.check.lint import LintConfig, Violation, lint_paths, lint_source
+from repro.check.rules import RULES, Rule, register
+from repro.check.sanitize import SanitizerError, sanitizer_enabled
+
+__all__ = [
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "SanitizerError",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "sanitizer_enabled",
+]

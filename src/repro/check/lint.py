@@ -1,0 +1,197 @@
+"""The lint engine: file walking, suppression comments, reporting.
+
+Suppression syntax (checked per physical line, flake8-style):
+
+* ``# repro: noqa`` — suppress every rule on that line;
+* ``# repro: noqa[slug]`` / ``# repro: noqa[slug, slug2]`` — suppress
+  only the named rules (slug or rule id, e.g. ``float-time-eq`` or
+  ``RPR105``);
+* ``# repro: noqa-file`` / ``# repro: noqa-file[slug]`` — same, for the
+  whole file, on a line of its own anywhere in the file.
+
+Every suppression should carry a justification comment next to it —
+the linter cannot check that, but reviewers can.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.check.rules import RULES, FileContext, Rule
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?\s*(?:\[(?P<rules>[^\]]*)\])?",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reported lint violation."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    slug: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} [{self.slug}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run where.
+
+    ``scopes`` overrides a rule's ``default_scopes`` (path fragments the
+    rule is limited to; ``None`` entry = everywhere).  ``whitelists``
+    exempts path fragments from a rule entirely — the shipped default
+    exempts the profiling modules from the wall-clock rule, and the
+    linter's own rule definitions (whose docstrings/regexes mention the
+    banned constructs) from everything.
+    """
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+    scopes: dict[str, tuple[str, ...] | None] = field(default_factory=dict)
+    whitelists: dict[str, tuple[str, ...]] = field(default_factory=lambda: {
+        "wall-clock": ("sim/profile.py", "experiments/overhead.py",
+                       "experiments/runner.py"),
+    })
+    #: path fragments never linted at all
+    exclude: tuple[str, ...] = ("check/rules.py", "check/lint.py")
+
+    def rules(self) -> list[Rule]:
+        chosen = []
+        for slug, rule in sorted(RULES.items()):
+            if self.select is not None and slug not in self.select \
+                    and rule.id not in self.select:
+                continue
+            if slug in self.ignore or rule.id in self.ignore:
+                continue
+            chosen.append(rule)
+        return chosen
+
+    def with_overrides(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> "LintConfig":
+        return replace(
+            self,
+            select=frozenset(select) if select else self.select,
+            ignore=frozenset(ignore) if ignore else self.ignore,
+        )
+
+
+class _Suppressions:
+    """Per-file suppression table parsed from ``# repro: noqa`` comments."""
+
+    def __init__(self, source: str) -> None:
+        self.file_all = False
+        self.file_rules: set[str] = set()
+        self.line_all: set[int] = set()
+        self.line_rules: dict[int, set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _NOQA.search(text)
+            if m is None:
+                continue
+            rules = {
+                r.strip() for r in (m.group("rules") or "").split(",") if r.strip()
+            }
+            if m.group("file"):
+                if rules:
+                    self.file_rules |= rules
+                else:
+                    self.file_all = True
+            elif rules:
+                self.line_rules.setdefault(lineno, set()).update(rules)
+            else:
+                self.line_all.add(lineno)
+
+    def suppressed(self, line: int, rule: Rule) -> bool:
+        keys = {rule.slug, rule.id}
+        if self.file_all or (self.file_rules & keys):
+            return True
+        if line in self.line_all:
+            return True
+        return bool(self.line_rules.get(line, set()) & keys)
+
+
+def _rule_applies(rule: Rule, config: LintConfig, ctx: FileContext) -> bool:
+    whitelist = config.whitelists.get(rule.slug) or config.whitelists.get(rule.id)
+    if whitelist and ctx.path_matches(whitelist):
+        return False
+    scopes = config.scopes.get(rule.slug, rule.default_scopes)
+    if scopes is not None and not ctx.path_matches(scopes):
+        return False
+    return True
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: LintConfig | None = None
+) -> list[Violation]:
+    """Lint one module's source text."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(
+            path, exc.lineno or 1, (exc.offset or 1) - 1, "RPR000",
+            "syntax-error", f"file does not parse: {exc.msg}",
+        )]
+    ctx = FileContext(path, source, tree)
+    suppressions = _Suppressions(source)
+    violations: list[Violation] = []
+    for rule in config.rules():
+        if not _rule_applies(rule, config, ctx):
+            continue
+        for finding in rule.check(tree, ctx):
+            if suppressions.suppressed(finding.line, rule):
+                continue
+            violations.append(Violation(
+                ctx.path, finding.line, finding.col,
+                rule.id, rule.slug, finding.message,
+            ))
+    violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return violations
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str | Path], config: LintConfig | None = None
+) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths``; missing paths error."""
+    config = config or LintConfig()
+    for raw in paths:
+        if not Path(raw).exists():
+            raise FileNotFoundError(f"lint target does not exist: {raw}")
+    violations: list[Violation] = []
+    for file in iter_python_files(paths):
+        posix = file.as_posix()
+        if any(posix.endswith(fragment) for fragment in config.exclude):
+            continue
+        violations.extend(
+            lint_source(file.read_text(encoding="utf-8"), posix, config)
+        )
+    return violations

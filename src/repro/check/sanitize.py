@@ -1,0 +1,184 @@
+"""Runtime sanitizer: invariant assertions for the simulator and NN stack.
+
+Activation
+----------
+Hooks are compiled into the hot paths but cost a single boolean check
+when inactive.  They activate when either
+
+* the environment variable ``REPRO_SANITIZE`` is set to a truthy value
+  (anything except ``""``, ``"0"``, ``"false"``, ``"no"``, ``"off"``), or
+* the caller opts in explicitly (``Engine(sanitize=True)``,
+  ``run_simulation(..., sanitize=True)``), which also covers the
+  cluster owned by that engine.
+
+On violation every hook raises :class:`SanitizerError` with a message
+naming the invariant, the offending object and the simulation time —
+fail loud and early instead of producing a silently-corrupt trajectory.
+
+Checked invariants
+------------------
+* **node conservation** — after every allocate/release:
+  ``used + free == total``, allocation table sizes match the busy-node
+  count, and the set of job ids on nodes equals the allocation table;
+* **event-time monotonicity** — ``Engine.run`` never moves the clock
+  backwards;
+* **metric sanity** — per-job wait and turnaround are non-negative when
+  summarised by :class:`repro.sim.metrics.RunMetrics`;
+* **scheduling-view integrity** — no double-start, and a reservation is
+  never created for a running job or in the past;
+* **NN numerics** — every forward/backward tensor and every Adam update
+  is finite (no NaN/Inf), with shape preservation across updates.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.cluster import Cluster
+
+_TRUTHY_OFF = ("", "0", "false", "no", "off")
+
+#: test/CLI override: None = follow the environment variable
+_FORCED: bool | None = None
+
+
+class SanitizerError(RuntimeError):
+    """A runtime invariant of the simulator or NN stack was violated."""
+
+
+def sanitizer_enabled() -> bool:
+    """Is the sanitizer globally active (env var or forced override)?"""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in _TRUTHY_OFF
+
+
+def force_sanitizer(value: bool | None) -> bool | None:
+    """Override env detection (``None`` restores it); returns the old value."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = value
+    return previous
+
+
+def _fail(invariant: str, detail: str) -> None:
+    raise SanitizerError(f"sanitizer[{invariant}]: {detail}")
+
+
+# -- simulator invariants ------------------------------------------------------
+
+def check_node_conservation(cluster: "Cluster", context: str = "") -> None:
+    """``used + free == total`` and the allocation table matches the nodes."""
+    total = cluster.num_nodes
+    free = cluster.available_nodes
+    used = cluster.used_nodes
+    where = f" after {context}" if context else ""
+    if used + free != total:
+        _fail(
+            "node-conservation",
+            f"used ({used}) + free ({free}) != total ({total}){where}",
+        )
+    allocated = sum(len(nodes) for nodes in cluster._alloc.values())
+    if allocated != used:
+        _fail(
+            "node-conservation",
+            f"allocation table covers {allocated} nodes but {used} nodes "
+            f"are marked busy{where}",
+        )
+    on_nodes = {int(j) for j in cluster._job_of if j >= 0}
+    in_table = set(cluster._alloc.keys())
+    if on_nodes != in_table:
+        _fail(
+            "node-conservation",
+            f"jobs on nodes {sorted(on_nodes)} != allocation table "
+            f"{sorted(in_table)}{where}",
+        )
+
+
+def check_monotonic_time(previous: float, now: float) -> None:
+    if now < previous:
+        _fail(
+            "time-monotonic",
+            f"simulation clock moved backwards: {previous} -> {now}",
+        )
+
+
+def check_job_start(job, now: float, already_running: Iterable[int]) -> None:
+    if job.job_id in set(already_running):
+        _fail(
+            "double-start",
+            f"job {job.job_id} started while already running (t={now})",
+        )
+    if job.submit_time > now:
+        _fail(
+            "causality",
+            f"job {job.job_id} started at t={now} before its submission "
+            f"at t={job.submit_time}",
+        )
+
+
+def check_reservation(job, reservation, now: float, running: Iterable[int]) -> None:
+    if job.job_id in set(running):
+        _fail(
+            "reservation",
+            f"reservation created for already-running job {job.job_id} (t={now})",
+        )
+    if reservation.job_id != job.job_id:
+        _fail(
+            "reservation",
+            f"reservation is for job {reservation.job_id}, expected "
+            f"{job.job_id}",
+        )
+    if reservation.shadow_time < now:
+        _fail(
+            "reservation",
+            f"reservation for job {job.job_id} has a shadow time in the "
+            f"past ({reservation.shadow_time} < now={now})",
+        )
+
+
+def check_job_metrics(job) -> None:
+    """Non-negative wait/turnaround for one finished job."""
+    if job.wait_time < 0:
+        _fail(
+            "metrics",
+            f"job {job.job_id} has negative wait time {job.wait_time} "
+            f"(submit={job.submit_time}, start={job.start_time})",
+        )
+    if job.response_time < 0:
+        _fail(
+            "metrics",
+            f"job {job.job_id} has negative turnaround {job.response_time} "
+            f"(submit={job.submit_time}, end={job.end_time})",
+        )
+    if job.response_time < job.wait_time:
+        _fail(
+            "metrics",
+            f"job {job.job_id} turnaround {job.response_time} is below its "
+            f"wait time {job.wait_time}",
+        )
+
+
+# -- NN numerics -------------------------------------------------------------
+
+def check_finite(name: str, array: np.ndarray) -> None:
+    """Raise unless every entry of ``array`` is finite."""
+    if np.isfinite(array).all():
+        return
+    arr = np.asarray(array)
+    nans = int(np.isnan(arr).sum())
+    infs = int(np.isinf(arr).sum())
+    _fail(
+        "non-finite",
+        f"{name} contains {nans} NaN / {infs} Inf entries "
+        f"(shape {arr.shape})",
+    )
+
+
+def check_same_shape(name: str, before: tuple[int, ...], after: tuple[int, ...]) -> None:
+    if before != after:
+        _fail("shape", f"{name} changed shape {before} -> {after} during update")

@@ -13,6 +13,9 @@ Commands
     checkpoint it.
 ``evaluate``
     Replay an SWF trace under a checkpointed agent.
+``check``
+    Run the determinism/correctness linter (:mod:`repro.check`) over
+    source paths and report violations.
 """
 
 from __future__ import annotations
@@ -214,6 +217,40 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import RULES, LintConfig, lint_paths
+
+    if args.list_rules:
+        for slug, rule in sorted(RULES.items(), key=lambda kv: kv[1].id):
+            scopes = ", ".join(rule.default_scopes) if rule.default_scopes else "all files"
+            print(f"{rule.id} [{slug}] ({scopes})")
+            print(f"    {rule.rationale}")
+        return 0
+
+    known = {slug for slug in RULES} | {r.id for r in RULES.values()}
+    unknown = [r for r in (args.select or []) + (args.ignore or []) if r not in known]
+    if unknown:
+        print(f"unknown rule(s): {', '.join(unknown)}; see --list-rules",
+              file=sys.stderr)
+        return 2
+
+    config = LintConfig().with_overrides(select=args.select, ignore=args.ignore)
+    try:
+        violations = lint_paths(args.paths, config)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"\n{len(violations)} violation(s) found", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        checked = ", ".join(str(p) for p in args.paths)
+        print(f"no determinism/correctness violations in {checked}")
+    return 0
+
+
 # -- parser -----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -280,6 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser(
+        "check", help="run the determinism/correctness linter over source paths"
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="run only these rules (slug or id; repeatable)")
+    p.add_argument("--ignore", action="append", metavar="RULE",
+                   help="skip these rules (slug or id; repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="print nothing when the check passes")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("evaluate", help="replay a trace under a checkpointed agent")
     p.add_argument("checkpoint")

@@ -56,7 +56,9 @@ class Conv1x2(Layer):
     """
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
-        rng = rng or np.random.default_rng()
+        # seeded fallback: unseeded default_rng() would make two
+        # identically-configured networks initialize differently
+        rng = rng or np.random.default_rng(0)
         # He-style init for a fan-in of 2
         w = rng.normal(0.0, np.sqrt(2.0 / 2.0), size=2)
         self.weight = Parameter("conv.weight", w)
@@ -99,7 +101,7 @@ class Dense(Layer):
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("in_features and out_features must be positive")
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         scale = np.sqrt(2.0 / in_features)  # He init for leaky-ReLU nets
         self.weight = Parameter(
             f"{name}.weight", rng.normal(0.0, scale, size=(in_features, out_features))

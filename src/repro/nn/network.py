@@ -4,11 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import sanitize as _san
 from repro.nn.layers import Conv1x2, Dense, Layer, LeakyReLU, Parameter
 
 
 class Network:
-    """A simple sequential network."""
+    """A simple sequential network.
+
+    With the sanitizer active (``REPRO_SANITIZE=1``) every tensor
+    flowing through ``forward``/``backward`` is checked for NaN/Inf, so
+    numerical corruption is caught at the layer that produced it.
+    """
 
     def __init__(self, layers: list[Layer]) -> None:
         if not layers:
@@ -16,6 +22,14 @@ class Network:
         self.layers = layers
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if _san.sanitizer_enabled():
+            _san.check_finite("network input", x)
+            for i, layer in enumerate(self.layers):
+                x = layer.forward(x)
+                _san.check_finite(
+                    f"forward output of layer {i} ({type(layer).__name__})", x
+                )
+            return x
         for layer in self.layers:
             x = layer.forward(x)
         return x
@@ -23,6 +37,16 @@ class Network:
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if _san.sanitizer_enabled():
+            _san.check_finite("network output gradient", grad_out)
+            for i, layer in zip(range(len(self.layers) - 1, -1, -1),
+                                reversed(self.layers)):
+                grad_out = layer.backward(grad_out)
+                _san.check_finite(
+                    f"backward gradient of layer {i} ({type(layer).__name__})",
+                    grad_out,
+                )
+            return grad_out
         for layer in reversed(self.layers):
             grad_out = layer.backward(grad_out)
         return grad_out
@@ -92,7 +116,7 @@ def build_dras_network(
     outputs=50`` giving 21,890,053 trainable parameters, matching
     Table III exactly.
     """
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     return Network(
         [
             Conv1x2(rng=rng),

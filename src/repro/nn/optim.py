@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import sanitize as _san
 from repro.nn.layers import Parameter
 
 
@@ -73,11 +74,14 @@ class Adam(Optimizer):
 
     def step(self) -> None:
         self._t += 1
+        sanitize = _san.sanitizer_enabled()
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
         for p, m, v in zip(self.params, self._m, self._v):
             g = p.grad
+            if sanitize:
+                _san.check_finite(f"gradient of {p.name} (Adam step {self._t})", g)
             if self.grad_clip is not None:
                 norm = float(np.linalg.norm(g))
                 if norm > self.grad_clip:
@@ -88,4 +92,8 @@ class Adam(Optimizer):
             v += (1 - b2) * np.square(g)
             m_hat = m / bias1
             v_hat = v / bias2
+            shape_before = p.value.shape
             p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if sanitize:
+                _san.check_same_shape(p.name, shape_before, p.value.shape)
+                _san.check_finite(f"value of {p.name} (Adam step {self._t})", p.value)

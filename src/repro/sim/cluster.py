@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import sanitize as _san
 from repro.sim.job import Job
 
 _FREE = -1
@@ -24,12 +25,16 @@ class Cluster:
     Nodes are interchangeable (no topology) — allocation picks the
     lowest-indexed free nodes, which matches the level of detail of the
     paper's simulator.
+
+    ``sanitize`` activates node-conservation checks after every
+    allocate/release (``None`` follows the ``REPRO_SANITIZE`` env var).
     """
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(self, num_nodes: int, sanitize: bool | None = None) -> None:
         if num_nodes <= 0:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
         self.num_nodes = int(num_nodes)
+        self._sanitize = sanitize
         #: job id occupying each node, ``-1`` when free
         self._job_of = np.full(self.num_nodes, _FREE, dtype=np.int64)
         #: estimated available time of each node (0 when free)
@@ -39,6 +44,13 @@ class Cluster:
         #: running node-seconds of *actual* useful work accumulated by
         #: finished jobs, used by utilization accounting.
         self._used_node_seconds = 0.0
+
+    @property
+    def sanitize_active(self) -> bool:
+        """Whether invariant checks run (explicit flag, else env var)."""
+        if self._sanitize is not None:
+            return self._sanitize
+        return _san.sanitizer_enabled()
 
     # -- queries -------------------------------------------------------------
     @property
@@ -134,6 +146,8 @@ class Cluster:
         self._job_of[chosen] = job.job_id
         self._avail_at[chosen] = now + job.walltime
         self._alloc[job.job_id] = chosen
+        if self.sanitize_active:
+            _san.check_node_conservation(self, f"allocate(job {job.job_id})")
         return chosen.copy()
 
     def release(self, job: Job) -> None:
@@ -145,6 +159,8 @@ class Cluster:
         self._job_of[nodes] = _FREE
         self._avail_at[nodes] = 0.0
         self._used_node_seconds += job.node_seconds
+        if self.sanitize_active:
+            _san.check_node_conservation(self, f"release(job {job.job_id})")
 
     # -- utilization accounting ----------------------------------------------
     def used_node_seconds(self, running_jobs: dict[int, Job] | None = None,

@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol, Sequence
 
+from repro.check import sanitize as _san
 from repro.sim.backfill import BackfillPlanner, Reservation
 from repro.sim.cluster import Cluster
 from repro.sim.events import EventKind, EventQueue
@@ -164,6 +165,9 @@ class SchedulingView:
                 f"job {job.job_id} fits right now; start it instead of reserving"
             )
         reservation = self._engine.planner.reserve(job, self.now)
+        if self._engine.sanitize_active:
+            _san.check_reservation(job, reservation, self.now,
+                                   self._engine._running)
         job.ever_reserved = True
         self._reservation = reservation
         self._reserved_job = job
@@ -225,6 +229,10 @@ class Engine:
     record_actions:
         Keep a full action log in the result (off by default to bound
         memory on long runs).
+    sanitize:
+        Activate the runtime invariant checks of
+        :mod:`repro.check.sanitize` for this engine and its cluster.
+        ``None`` (the default) follows the ``REPRO_SANITIZE`` env var.
     """
 
     def __init__(
@@ -235,8 +243,13 @@ class Engine:
         observers: Sequence[Observer] = (),
         max_time: float | None = None,
         record_actions: bool = False,
+        sanitize: bool | None = None,
     ) -> None:
         self.cluster = cluster
+        self._sanitize_flag = sanitize
+        if sanitize is not None:
+            # an explicit engine flag governs its cluster too
+            cluster._sanitize = sanitize
         self.scheduler = scheduler
         self.queue = WaitQueue()
         self.planner = BackfillPlanner(cluster)
@@ -265,12 +278,21 @@ class Engine:
                 raise ValueError(f"duplicate job id {job.job_id}")
             self._jobs[job.job_id] = job
 
+    @property
+    def sanitize_active(self) -> bool:
+        """Whether runtime invariant checks run for this engine."""
+        if self._sanitize_flag is not None:
+            return self._sanitize_flag
+        return _san.sanitizer_enabled()
+
     # -- internal hooks used by the view ----------------------------------------
     def _record(self, action: Action) -> None:
         if self._record_actions:
             self._actions.append(action)
 
     def _start_job(self, job: Job, mode: ExecMode) -> None:
+        if self.sanitize_active:
+            _san.check_job_start(job, self.now, self._running)
         self.queue.remove(job)
         self.cluster.allocate(job, self.now)
         job.mark_started(self.now, mode)
@@ -316,10 +338,13 @@ class Engine:
         if hook is not None:
             hook(self)
 
+        sanitize_active = self.sanitize_active
         while self.events:
             if self.max_time is not None and self.events.peek().time > self.max_time:
                 break
             batch = self.events.pop_simultaneous()
+            if sanitize_active:
+                _san.check_monotonic_time(self.now, batch[0].time)
             self.now = batch[0].time
             for event in batch:
                 job = self._jobs[event.job_id]
@@ -367,9 +392,10 @@ def run_simulation(
     observers: Sequence[Observer] = (),
     max_time: float | None = None,
     record_actions: bool = False,
+    sanitize: bool | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a cluster + engine and run it."""
-    cluster = Cluster(num_nodes)
+    cluster = Cluster(num_nodes, sanitize=sanitize)
     engine = Engine(
         cluster,
         scheduler,
@@ -377,5 +403,6 @@ def run_simulation(
         observers=observers,
         max_time=max_time,
         record_actions=record_actions,
+        sanitize=sanitize,
     )
     return engine.run()

@@ -70,7 +70,9 @@ class EventQueue:
             raise IndexError("pop from empty event queue")
         first = self.pop()
         batch = [first]
-        while self._heap and self._heap[0].time == first.time:
+        # stored-value equality: both sides are the same pushed float,
+        # not recomputed arithmetic
+        while self._heap and self._heap[0].time == first.time:  # repro: noqa[float-time-eq]
             batch.append(self.pop())
         return batch
 

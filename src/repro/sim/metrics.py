@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check import sanitize as _san
 from repro.sim.engine import SchedulingView, SimulationResult
 from repro.sim.job import ExecMode, Job, JobState
 
@@ -50,6 +51,9 @@ class RunMetrics:
         cls, result: SimulationResult, slowdown_bound: float = 0.0
     ) -> "RunMetrics":
         jobs = result.finished_jobs
+        if _san.sanitizer_enabled():
+            for job in jobs:
+                _san.check_job_metrics(job)
         waits = [j.wait_time for j in jobs]
         responses = [j.response_time for j in jobs]
         slowdowns = [j.slowdown(bound=slowdown_bound) for j in jobs]

@@ -57,7 +57,8 @@ class UtilizationTimeline:
     def _record(self, now: float, used: int) -> None:
         if now < self._times[-1]:
             raise ValueError("time went backwards")
-        if now == self._times[-1]:
+        # same engine-clock float observed twice, never recomputed
+        if now == self._times[-1]:  # repro: noqa[float-time-eq]
             self._used[-1] = used
         else:
             self._times.append(now)

@@ -53,7 +53,9 @@ class ResourceProfile:
         for t in np.unique(releases):
             count = int(np.sum(releases == t))
             t = float(max(t, now))
-            if t == times[-1]:
+            # exact merge of identical breakpoints (np.unique output);
+            # a tolerance would wrongly fuse distinct release times
+            if t == times[-1]:  # repro: noqa[float-time-eq]
                 free[-1] += count
             else:
                 times.append(t)
@@ -121,7 +123,8 @@ class ResourceProfile:
         if math.isinf(t):
             return
         idx = int(np.searchsorted(self._times, t, side="right")) - 1
-        if idx >= 0 and self._times[idx] == t:
+        # stored-breakpoint identity check, not recomputed arithmetic
+        if idx >= 0 and self._times[idx] == t:  # repro: noqa[float-time-eq]
             return
         if t < self._times[0]:
             raise ValueError(f"breakpoint {t} precedes the profile start")

@@ -1,0 +1,223 @@
+"""Unit tests for the runtime sanitizer (repro.check.sanitize)."""
+
+import numpy as np
+import pytest
+
+from repro.check import sanitize
+from repro.check.sanitize import SanitizerError
+from repro.nn.network import build_dras_network
+from repro.nn.optim import Adam
+from repro.schedulers import FCFSEasy
+from repro.sim.backfill import Reservation
+from repro.sim.cluster import Cluster
+from repro.sim.engine import SimulationResult, run_simulation
+from repro.sim.job import ExecMode, Job, JobState
+from repro.sim.metrics import RunMetrics
+from repro.workload import ThetaModel
+
+
+@pytest.fixture
+def sanitizer_on():
+    previous = sanitize.force_sanitizer(True)
+    yield
+    sanitize.force_sanitizer(previous)
+
+
+@pytest.fixture
+def sanitizer_off():
+    # force, so the suite also passes under an ambient REPRO_SANITIZE=1
+    previous = sanitize.force_sanitizer(False)
+    yield
+    sanitize.force_sanitizer(previous)
+
+
+def make_job(job_id, size=2, submit=0.0, runtime=100.0):
+    return Job(job_id=job_id, size=size, walltime=runtime * 2,
+               runtime=runtime, submit_time=submit)
+
+
+class TestActivation:
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize.sanitizer_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", "False"])
+    def test_falsy_env_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert not sanitize.sanitizer_enabled()
+
+    def test_force_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        previous = sanitize.force_sanitizer(False)
+        try:
+            assert not sanitize.sanitizer_enabled()
+        finally:
+            sanitize.force_sanitizer(previous)
+
+    def test_explicit_cluster_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert not Cluster(4, sanitize=False).sanitize_active
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert Cluster(4, sanitize=True).sanitize_active
+
+
+class TestClusterInvariants:
+    def corrupt_cluster(self):
+        """Allocate one job, then leak a node behind the table's back."""
+        cluster = Cluster(8, sanitize=True)
+        job = make_job(1, size=4)
+        cluster.allocate(job, 0.0)
+        cluster._job_of[0] = -1
+        return cluster
+
+    def test_node_leak_raises_descriptive_error(self):
+        cluster = self.corrupt_cluster()
+        with pytest.raises(SanitizerError, match="node-conservation"):
+            cluster.allocate(make_job(2, size=1), 1.0)
+
+    def test_corruption_silent_when_disabled(self):
+        cluster = self.corrupt_cluster()
+        cluster._sanitize = False
+        cluster.allocate(make_job(2, size=1), 1.0)  # no error
+
+    def test_env_var_activates_cluster_checks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        cluster = Cluster(8)
+        job = make_job(1, size=4)
+        cluster.allocate(job, 0.0)
+        cluster._job_of[7] = 99  # phantom job on a free node
+        with pytest.raises(SanitizerError, match="allocation table"):
+            cluster.release(job)
+
+    def test_clean_allocate_release_passes(self, sanitizer_on):
+        cluster = Cluster(8)
+        job = make_job(1, size=8)
+        cluster.allocate(job, 0.0)
+        job.mark_started(0.0, ExecMode.READY)
+        job.mark_finished(100.0)
+        cluster.release(job)
+        assert cluster.available_nodes == 8
+
+
+class TestCheckFunctions:
+    def test_monotonic_time(self):
+        sanitize.check_monotonic_time(5.0, 5.0)
+        sanitize.check_monotonic_time(5.0, 6.0)
+        with pytest.raises(SanitizerError, match="moved backwards"):
+            sanitize.check_monotonic_time(5.0, 4.0)
+
+    def test_double_start(self):
+        job = make_job(7)
+        with pytest.raises(SanitizerError, match="double-start"):
+            sanitize.check_job_start(job, 1.0, {7: job})
+        sanitize.check_job_start(job, 1.0, {})
+
+    def test_start_before_submission(self):
+        job = make_job(3, submit=50.0)
+        with pytest.raises(SanitizerError, match="causality"):
+            sanitize.check_job_start(job, 10.0, {})
+
+    def test_reservation_in_past(self):
+        job = make_job(4, size=8)
+        stale = Reservation(job_id=4, size=8, shadow_time=5.0, extra_nodes=0)
+        with pytest.raises(SanitizerError, match="shadow time"):
+            sanitize.check_reservation(job, stale, now=10.0, running={})
+        ok = Reservation(job_id=4, size=8, shadow_time=20.0, extra_nodes=0)
+        sanitize.check_reservation(job, ok, now=10.0, running={})
+
+    def test_reservation_for_running_job(self):
+        job = make_job(4, size=8)
+        res = Reservation(job_id=4, size=8, shadow_time=20.0, extra_nodes=0)
+        with pytest.raises(SanitizerError, match="already-running"):
+            sanitize.check_reservation(job, res, now=10.0, running={4: job})
+
+
+class TestMetricsInvariants:
+    def finished_result(self, start, submit=100.0, end=None):
+        job = make_job(1, submit=submit)
+        job.state = JobState.FINISHED
+        job.start_time = start
+        job.end_time = end if end is not None else start + job.runtime
+        return SimulationResult(jobs=[job], makespan=job.end_time,
+                                first_submit=submit, num_instances=1, num_nodes=4)
+
+    def test_negative_wait_raises(self, sanitizer_on):
+        with pytest.raises(SanitizerError, match="negative wait"):
+            RunMetrics.from_result(self.finished_result(start=40.0))
+
+    def test_negative_turnaround_raises(self, sanitizer_on):
+        with pytest.raises(SanitizerError, match="negative turnaround"):
+            RunMetrics.from_result(self.finished_result(start=150.0, end=90.0))
+
+    def test_corrupt_metrics_silent_when_disabled(self, sanitizer_off):
+        assert RunMetrics.from_result(self.finished_result(start=40.0)).num_jobs == 1
+
+    def test_clean_metrics_pass(self, sanitizer_on):
+        m = RunMetrics.from_result(self.finished_result(start=150.0))
+        assert m.avg_wait == 50.0
+
+
+class TestNetworkInvariants:
+    def make_net(self):
+        return build_dras_network(4, 8, 6, 3, rng=np.random.default_rng(0))
+
+    def test_nan_input_raises(self, sanitizer_on):
+        net = self.make_net()
+        with pytest.raises(SanitizerError, match="NaN"):
+            net.forward(np.full((1, 4, 2), np.nan))
+
+    def test_inf_blames_producing_layer(self, sanitizer_on):
+        net = self.make_net()
+        net.layers[1].weight.value[:] = np.inf
+        with pytest.raises(SanitizerError, match=r"layer 1 \(Dense\)"):
+            net.forward(np.ones((1, 4, 2)))
+
+    def test_nan_gradient_raises_in_backward(self, sanitizer_on):
+        net = self.make_net()
+        net.forward(np.ones((1, 4, 2)))
+        with pytest.raises(SanitizerError, match="output gradient"):
+            net.backward(np.full((1, 3), np.nan))
+
+    def test_nan_silent_when_disabled(self, sanitizer_off):
+        net = self.make_net()
+        out = net.forward(np.full((1, 4, 2), np.nan))
+        assert np.isnan(out).all()
+
+    def test_clean_forward_backward_pass(self, sanitizer_on):
+        net = self.make_net()
+        out = net.forward(np.ones((2, 4, 2)))
+        grad = net.backward(np.ones_like(out))
+        assert np.isfinite(grad).all()
+
+
+class TestAdamInvariants:
+    def test_nan_gradient_raises(self, sanitizer_on):
+        net = build_dras_network(4, 8, 6, 3, rng=np.random.default_rng(0))
+        opt = Adam(net.parameters(), lr=0.001)
+        net.parameters()[0].grad[:] = np.nan
+        with pytest.raises(SanitizerError, match="gradient of conv.weight"):
+            opt.step()
+
+    def test_clean_step_passes(self, sanitizer_on):
+        net = build_dras_network(4, 8, 6, 3, rng=np.random.default_rng(0))
+        opt = Adam(net.parameters(), lr=0.001)
+        net.forward(np.ones((2, 4, 2)))
+        net.backward(np.ones((2, 3)))
+        opt.step()
+
+    def test_shape_check(self):
+        sanitize.check_same_shape("w", (2, 3), (2, 3))
+        with pytest.raises(SanitizerError, match="changed shape"):
+            sanitize.check_same_shape("w", (2, 3), (3, 2))
+
+
+class TestEndToEnd:
+    def test_sanitized_run_matches_unsanitized(self):
+        model = ThetaModel.scaled(32)
+        jobs = model.generate(60, np.random.default_rng(5))
+        plain = run_simulation(32, FCFSEasy(), [j.copy_fresh() for j in jobs])
+        checked = run_simulation(
+            32, FCFSEasy(), [j.copy_fresh() for j in jobs], sanitize=True
+        )
+        assert RunMetrics.from_result(plain) == RunMetrics.from_result(checked)
+        assert checked.makespan == plain.makespan
