@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Compare fresh BENCH_*.json results against committed baselines.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --current BENCH_sim.json [--baseline path | --git-ref HEAD] \
+        [--tolerance 0.20]
+
+The baseline defaults to the committed copy of the same file name at
+``--git-ref`` (default ``HEAD``), fetched via ``git show``.  A benchmark
+*regresses* when its throughput (``events_per_s`` / ``steps_per_s``)
+falls more than ``--tolerance`` (default 20%) below the baseline.
+Speedups and new benchmarks are reported but never fail the check.
+
+Exit status: 0 when no benchmark regresses, 1 otherwise.  The compare
+logic lives in :func:`compare_docs` so tests (``pytest -m bench``) can
+reuse it; see ``docs/benchmarks.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.bench import validate_bench_doc  # noqa: E402
+
+#: default relative tolerance before a slowdown counts as a regression
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Baseline-vs-current rates for one benchmark."""
+
+    name: str
+    rate_key: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (> 1 means faster)."""
+        return self.current / self.baseline
+
+    def regressed(self, tolerance: float) -> bool:
+        """Whether the slowdown exceeds ``tolerance``."""
+        return self.ratio < 1.0 - tolerance
+
+
+def _rates(doc: dict) -> dict[str, tuple[str, float]]:
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        for key in ("events_per_s", "steps_per_s"):
+            if key in entry:
+                out[entry["name"]] = (key, float(entry[key]))
+    return out
+
+
+def compare_docs(baseline: dict, current: dict) -> list[Comparison]:
+    """Pair up benchmarks by name; unmatched names are skipped.
+
+    Both documents are schema-validated first (:func:`validate_bench_doc`);
+    a ``ValueError`` names the offending document.
+    """
+    for label, doc in (("baseline", baseline), ("current", current)):
+        problems = validate_bench_doc(doc)
+        if problems:
+            raise ValueError(f"invalid {label} document: {problems}")
+    base_rates = _rates(baseline)
+    comparisons = []
+    for name, (key, rate) in _rates(current).items():
+        if name in base_rates:
+            comparisons.append(
+                Comparison(name, key, baseline=base_rates[name][1], current=rate)
+            )
+    return comparisons
+
+
+def load_baseline_from_git(filename: str, ref: str = "HEAD") -> dict:
+    """The committed copy of ``filename`` at ``ref``, via ``git show``."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{filename}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    if proc.returncode != 0:
+        raise FileNotFoundError(
+            f"no committed {filename} at {ref}: {proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: committed copy via git)")
+    parser.add_argument("--git-ref", default="HEAD",
+                        help="ref for the committed baseline (default: HEAD)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative slowdown (default: 0.20)")
+    args = parser.parse_args(argv)
+
+    current_path = Path(args.current)
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    else:
+        baseline = load_baseline_from_git(current_path.name, args.git_ref)
+
+    comparisons = compare_docs(baseline, current)
+    if not comparisons:
+        print("no overlapping benchmarks to compare")
+        return 1
+
+    failed = False
+    for comp in comparisons:
+        status = "ok"
+        if comp.regressed(args.tolerance):
+            status = "REGRESSION"
+            failed = True
+        elif comp.ratio > 1.0 + args.tolerance:
+            status = "faster"
+        print(
+            f"{comp.name:32s} {comp.baseline:14,.0f} -> {comp.current:14,.0f} "
+            f"{comp.rate_key} ({comp.ratio:6.2f}x) {status}"
+        )
+    new = set(_rates(current)) - {c.name for c in comparisons}
+    for name in sorted(new):
+        print(f"{name:32s} (new benchmark, no baseline)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ Commands
 ``check``
     Run the determinism/correctness linter (:mod:`repro.check`) over
     source paths and report violations.
+``bench``
+    Run the perf-benchmark harness (:mod:`repro.obs.bench`) and write
+    ``BENCH_sim.json`` / ``BENCH_nn.json`` regression baselines.
+
+``reproduce``, ``simulate`` and ``train`` accept ``--manifest PATH`` to
+write a :class:`~repro.obs.manifest.RunManifest` (seed, git SHA, config,
+workload parameters, summary metrics) alongside their output.
 """
 
 from __future__ import annotations
@@ -75,6 +82,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             seed=args.seed,
             full_size_overhead=not args.scaled_overhead,
             progress=lambda msg: print(f"  [{msg}]", file=sys.stderr),
+            manifest_path=args.manifest,
         )
         text = combined_report(reports, args.scale)
         if args.out:
@@ -94,6 +102,15 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     text = module.report(result)
     if args.out:
         Path(args.out).write_text(text + "\n")
+    if args.manifest:
+        from repro.obs.manifest import RunManifest
+
+        RunManifest.create(
+            kind="reproduce",
+            seed=args.seed,
+            config={"experiment": args.experiment, "scale": args.scale},
+            summary={"report_chars": len(text)},
+        ).write(args.manifest)
     print(text)
     return 0
 
@@ -137,8 +154,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("trace contains no usable jobs", file=sys.stderr)
         return 1
     policy = make_policy(args.policy, objective=args.objective, seed=args.seed)
-    result = run_simulation(args.nodes, policy, jobs)
+    result = run_simulation(args.nodes, policy, jobs, trace=args.trace_out)
     _print_metrics(policy.name, result)
+    if args.manifest:
+        from repro.obs.manifest import RunManifest
+        from repro.sim.metrics import RunMetrics
+
+        RunManifest.create(
+            kind="simulate",
+            seed=args.seed,
+            config={
+                "trace": args.trace,
+                "nodes": args.nodes,
+                "policy": args.policy,
+                "objective": args.objective,
+                "procs_per_node": args.procs_per_node,
+                "max_jobs": args.max_jobs,
+            },
+            summary=RunMetrics.from_result(result).as_dict(),
+        ).write(args.manifest)
     return 0
 
 
@@ -172,6 +206,35 @@ def cmd_train(args: argparse.Namespace) -> int:
     converged = history.converged_at()
     print(f"converged at episode: {converged if converged is not None else 'never'}")
     print(f"checkpoint written to {args.out}")
+    if args.manifest:
+        from repro.obs.manifest import RunManifest, describe_workload
+
+        RunManifest.create(
+            kind="train",
+            seed=args.seed,
+            config={
+                "system": args.system,
+                "agent": args.agent,
+                "nodes": args.nodes,
+                "window": args.window,
+                "train_jobs": args.train_jobs,
+                "curriculum": {
+                    "sampled": args.sampled,
+                    "real": args.real,
+                    "synthetic": args.synthetic,
+                    "jobs_per_set": args.jobs_per_set,
+                },
+                "checkpoint": args.out,
+            },
+            workload=describe_workload(model),
+            summary={
+                "episodes": len(history.episodes),
+                "validation_first": float(curve[0]),
+                "validation_last": float(curve[-1]),
+                "validation_best": float(curve.max()),
+                "converged_at": converged,
+            },
+        ).write(args.manifest)
     return 0
 
 
@@ -251,6 +314,21 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import write_bench_files
+
+    paths = write_bench_files(
+        out_dir=args.out_dir,
+        seed=args.seed,
+        quick=args.quick,
+        only=args.only,
+        progress=lambda msg: print(f"  {msg}"),
+    )
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
 # -- parser -----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,6 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="also write the report to this file")
     p.add_argument("--scaled-overhead", action="store_true",
                    help="overhead experiment: use a scaled network")
+    p.add_argument("--manifest", metavar="PATH",
+                   help="write a run manifest (JSON provenance record)")
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("generate", help="synthesize an SWF trace")
@@ -289,6 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs-per-node", type=int, default=1)
     p.add_argument("--max-jobs", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--manifest", metavar="PATH",
+                   help="write a run manifest (JSON provenance record)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a structured JSONL event trace of the run")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train and checkpoint a DRAS agent")
@@ -303,6 +387,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs-per-set", type=int, default=250)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
+    p.add_argument("--manifest", metavar="PATH",
+                   help="write a run manifest (JSON provenance record)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser(
@@ -332,6 +418,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-q", "--quiet", action="store_true",
                    help="print nothing when the check passes")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "bench", help="run the perf benchmarks and write BENCH_*.json"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small reps for smoke testing (not comparable to "
+                        "full-run baselines)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-dir", default=".",
+                   help="directory for BENCH_*.json (default: current dir)")
+    p.add_argument("--only", choices=("sim", "nn"), default=None,
+                   help="run a single suite instead of both")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("evaluate", help="replay a trace under a checkpointed agent")
     p.add_argument("checkpoint")

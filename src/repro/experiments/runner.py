@@ -66,12 +66,17 @@ def run_all(
     only: tuple[str, ...] | None = None,
     full_size_overhead: bool = True,
     progress: Callable[[str], None] | None = None,
+    manifest_path: str | None = None,
 ) -> dict[str, str]:
     """Run every (or the selected) experiment; return rendered reports.
 
     Experiments share cached traces and trained agents within the
     process, so the full sweep costs little more than Fig 6 alone plus
     the training-order study.
+
+    With ``manifest_path`` a :class:`~repro.obs.manifest.RunManifest` is
+    written there, recording the scale, seed, git SHA, selected
+    experiments and per-experiment wall durations.
     """
     selected = {s.exp_id: s for s in SPECS}
     if only is not None:
@@ -80,6 +85,7 @@ def run_all(
             raise ValueError(f"unknown experiment ids: {sorted(unknown)}")
         selected = {k: v for k, v in selected.items() if k in only}
     reports: dict[str, str] = {}
+    durations: dict[str, float] = {}
     for exp_id, spec in selected.items():
         start = time.perf_counter()
         if spec.needs_scale:
@@ -89,8 +95,22 @@ def run_all(
         else:
             result = spec.run()
         reports[exp_id] = spec.report(result)
+        durations[exp_id] = round(time.perf_counter() - start, 3)
         if progress is not None:
-            progress(f"{exp_id}: done in {time.perf_counter() - start:.1f} s")
+            progress(f"{exp_id}: done in {durations[exp_id]:.1f} s")
+    if manifest_path is not None:
+        from repro.obs.manifest import RunManifest
+
+        RunManifest.create(
+            kind="reproduce",
+            seed=seed,
+            config={
+                "scale": scale,
+                "experiments": sorted(selected),
+                "full_size_overhead": full_size_overhead,
+            },
+            summary={"wall_s": durations},
+        ).write(manifest_path)
     return reports
 
 

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.check import sanitize as _san
 from repro.nn.layers import Conv1x2, Dense, Layer, LeakyReLU, Parameter
+from repro.obs import trace as _trace
 
 
 class Network:
@@ -13,7 +14,10 @@ class Network:
 
     With the sanitizer active (``REPRO_SANITIZE=1``) every tensor
     flowing through ``forward``/``backward`` is checked for NaN/Inf, so
-    numerical corruption is caught at the layer that produced it.
+    numerical corruption is caught at the layer that produced it.  With
+    a global tracer active (``REPRO_TRACE=path``) each forward/backward
+    pass is recorded as a ``nn.forward`` / ``nn.backward`` span; neither
+    hook changes any computed value.
     """
 
     def __init__(self, layers: list[Layer]) -> None:
@@ -22,6 +26,15 @@ class Network:
         self.layers = layers
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run ``x`` through every layer; returns the final activation."""
+        tracer = _trace.global_tracer()
+        if tracer is None:
+            return self._forward(x)
+        with tracer.span("nn.forward", layers=len(self.layers),
+                         shape=list(x.shape)):
+            return self._forward(x)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
         if _san.sanitizer_enabled():
             _san.check_finite("network input", x)
             for i, layer in enumerate(self.layers):
@@ -37,6 +50,14 @@ class Network:
     __call__ = forward
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_out``; returns the input gradient."""
+        tracer = _trace.global_tracer()
+        if tracer is None:
+            return self._backward(grad_out)
+        with tracer.span("nn.backward", layers=len(self.layers)):
+            return self._backward(grad_out)
+
+    def _backward(self, grad_out: np.ndarray) -> np.ndarray:
         if _san.sanitizer_enabled():
             _san.check_finite("network output gradient", grad_out)
             for i, layer in zip(range(len(self.layers) - 1, -1, -1),

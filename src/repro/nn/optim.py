@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.check import sanitize as _san
 from repro.nn.layers import Parameter
+from repro.obs import trace as _trace
 
 
 class Optimizer:
@@ -73,6 +74,15 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        """Apply one Adam update to every parameter (in place)."""
+        tracer = _trace.global_tracer()
+        if tracer is None:
+            return self._step()
+        with tracer.span("nn.adam_step", t=self._t + 1,
+                         params=len(self.params)):
+            return self._step()
+
+    def _step(self) -> None:
         self._t += 1
         sanitize = _san.sanitizer_enabled()
         b1, b2 = self.beta1, self.beta2

@@ -1,0 +1,58 @@
+"""Observability layer: structured tracing, metrics, and run manifests.
+
+``repro.obs`` gives every long simulation and training run three kinds
+of visibility, all designed around the same contract as the PR 1
+sanitizer: **disabled-path cost is one boolean/None check**, and an
+instrumented run is bit-identical to an uninstrumented one (the layer
+only ever *observes* — it never touches simulation or RNG state).
+
+* :mod:`repro.obs.trace` — a near-zero-overhead structured event tracer
+  writing JSONL spans/counters/events.  Activate globally with
+  ``REPRO_TRACE=/path/to/trace.jsonl`` or per-engine with
+  ``Engine(trace=...)``.  The engine emits scheduler-decision spans and
+  allocate/release/backfill events; the NN stack emits
+  forward/backward/optimizer-step spans.
+* :mod:`repro.obs.metrics` — lightweight always-on counters, gauges and
+  wall-clock timers (with EMA smoothing) grouped in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, exposed from
+  :class:`~repro.sim.engine.Engine`, :class:`~repro.rl.trainer.Trainer`
+  and every scheduler.
+* :mod:`repro.obs.manifest` — :class:`~repro.obs.manifest.RunManifest`
+  records what produced a result file: seed, git SHA, configuration,
+  workload-model parameters and summary metrics.  Manifests with the
+  same inputs are identical minus timestamps.
+* :mod:`repro.obs.bench` — the perf-benchmark harness behind
+  ``python -m repro bench``, writing ``BENCH_sim.json`` /
+  ``BENCH_nn.json`` regression baselines.
+
+See ``docs/observability.md`` and ``docs/benchmarks.md`` for usage.
+"""
+
+from __future__ import annotations
+
+from repro.obs.manifest import RunManifest, describe_workload, git_sha
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    build_span_tree,
+    global_tracer,
+    read_trace,
+    set_global_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Timer",
+    "Tracer",
+    "build_span_tree",
+    "describe_workload",
+    "git_sha",
+    "global_tracer",
+    "read_trace",
+    "set_global_tracer",
+]

@@ -1,0 +1,389 @@
+"""Perf-benchmark harness behind ``python -m repro bench``.
+
+Times the four hot paths every future optimization PR will fight over —
+the engine event loop, EASY-backfill candidate filtering, conservative
+free-capacity profile queries and the NN train step — on fixed seeded
+workloads, and writes machine-readable baselines:
+
+* ``BENCH_sim.json`` — simulator benchmarks (``events_per_s``);
+* ``BENCH_nn.json`` — network benchmarks (``steps_per_s``).
+
+Each per-benchmark entry records
+``{name, reps, wall_s, events_per_s | steps_per_s, seed, git_sha}``
+plus an ``extra`` block of workload parameters, and each file embeds a
+:class:`~repro.obs.manifest.RunManifest`.  Committed baselines at the
+repo root give every later PR a regression trajectory — compare with
+``scripts/check_bench_regression.py`` or ``pytest -m bench``
+(see ``docs/benchmarks.md``).
+
+Wall timings use ``time.perf_counter()``; throughput numbers are
+machine-dependent, which is why comparisons apply a relative tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs.manifest import RunManifest, git_sha
+
+#: schema tag stamped into every BENCH_*.json document
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one benchmark: identity, effort and throughput."""
+
+    name: str
+    reps: int
+    wall_s: float
+    rate_key: str      #: ``"events_per_s"`` or ``"steps_per_s"``
+    rate: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self, seed: int, sha: str) -> dict[str, Any]:
+        """The per-benchmark JSON entry (acceptance schema)."""
+        return {
+            "name": self.name,
+            "reps": self.reps,
+            "wall_s": self.wall_s,
+            self.rate_key: self.rate,
+            "seed": seed,
+            "git_sha": sha,
+            "extra": dict(self.extra),
+        }
+
+
+# -- simulator benchmarks ------------------------------------------------------
+
+def _theta_jobs(num_nodes: int, n_jobs: int, seed: int) -> list:
+    """Seeded Theta-like jobset reused (via copies) across reps."""
+    from repro.workload.models import ThetaModel
+
+    model = ThetaModel.scaled(num_nodes)
+    rng = np.random.default_rng(seed)
+    return model.generate(n_jobs, rng)
+
+
+def bench_engine_throughput(
+    seed: int = 0,
+    quick: bool = False,
+    trace_to_null: bool = False,
+) -> BenchResult:
+    """Engine event-loop throughput under FCFS/EASY on a Theta-like trace.
+
+    Counts two events per job (SUBMIT + FINISH); the rate is events
+    drained per wall-clock second, including queue management, the
+    policy call and metric upkeep.  With ``trace_to_null`` a tracer
+    writing to ``os.devnull`` is attached, measuring the enabled-path
+    tracing cost (the default measures the disabled path).
+    """
+    from repro.schedulers.fcfs import FCFSEasy
+    from repro.sim.engine import run_simulation
+
+    num_nodes = 64
+    n_jobs = 300 if quick else 2000
+    reps = 1 if quick else 3
+    jobs = _theta_jobs(num_nodes, n_jobs, seed)
+
+    tracer = None
+    if trace_to_null:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(open(os.devnull, "w", encoding="utf-8"))
+
+    wall = 0.0
+    events = 0
+    try:
+        for _ in range(reps):
+            fresh = [j.copy_fresh() for j in jobs]
+            t0 = time.perf_counter()
+            result = run_simulation(num_nodes, FCFSEasy(), fresh, trace=tracer)
+            wall += time.perf_counter() - t0
+            events += 2 * len(result.jobs)
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    name = "engine-throughput-traced" if trace_to_null else "engine-throughput"
+    return BenchResult(
+        name=name,
+        reps=reps,
+        wall_s=wall,
+        rate_key="events_per_s",
+        rate=events / wall if wall > 0 else 0.0,
+        extra={"num_nodes": num_nodes, "n_jobs": n_jobs, "policy": "fcfs"},
+    )
+
+
+def _loaded_cluster(num_nodes: int, seed: int):
+    """A cluster with staggered running jobs and a blocked head job."""
+    from repro.sim.cluster import Cluster
+    from repro.sim.job import Job
+
+    rng = np.random.default_rng(seed)
+    cluster = Cluster(num_nodes)
+    running = []
+    used = 0
+    job_id = 1_000_000  # out of the way of auto ids
+    while used + 8 <= num_nodes - 4:
+        job = Job(size=8, walltime=float(rng.integers(600, 7200)),
+                  runtime=600.0, submit_time=0.0, job_id=job_id)
+        cluster.allocate(job, 0.0)
+        running.append(job)
+        used += 8
+        job_id += 1
+    blocked = Job(size=num_nodes // 2, walltime=3600.0, runtime=3600.0,
+                  submit_time=0.0, job_id=job_id)
+    return cluster, running, blocked
+
+
+def bench_backfill(seed: int = 0, quick: bool = False) -> BenchResult:
+    """EASY reservation + candidate filtering over a 50-job pool.
+
+    One "event" is one ``reserve`` + ``candidates`` round against a
+    loaded 64-node cluster, the per-instance work a backfilling policy
+    adds on top of the raw event loop.
+    """
+    from repro.sim.backfill import BackfillPlanner
+    from repro.sim.job import Job
+
+    rng = np.random.default_rng(seed)
+    cluster, _, blocked = _loaded_cluster(64, seed)
+    planner = BackfillPlanner(cluster)
+    pool = [
+        Job(size=int(rng.integers(1, 9)), walltime=float(rng.integers(300, 14400)),
+            runtime=300.0, submit_time=0.0, job_id=2_000_000 + i)
+        for i in range(50)
+    ]
+    reps = 500 if quick else 20_000
+    t0 = time.perf_counter()
+    n_candidates = 0
+    for _ in range(reps):
+        reservation = planner.reserve(blocked, 0.0)
+        n_candidates += len(planner.candidates(pool, reservation, 0.0))
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="backfill-plan",
+        reps=reps,
+        wall_s=wall,
+        rate_key="events_per_s",
+        rate=reps / wall if wall > 0 else 0.0,
+        extra={"num_nodes": 64, "pool_size": len(pool),
+               "mean_candidates": n_candidates / reps},
+    )
+
+
+def bench_conservative_profile(seed: int = 0, quick: bool = False) -> BenchResult:
+    """Conservative-backfilling profile build + query + reserve cycle.
+
+    One "event" is one ``earliest_start`` + ``reserve`` pair on a
+    :class:`~repro.sim.profile.ResourceProfile` rebuilt from a loaded
+    cluster — the inner loop of ``ConservativeBackfill``.
+    """
+    from repro.sim.profile import ResourceProfile
+
+    rng = np.random.default_rng(seed)
+    cluster, _, _ = _loaded_cluster(64, seed)
+    requests = [
+        (int(rng.integers(1, 17)), float(rng.integers(300, 7200)))
+        for _ in range(16)
+    ]
+    reps = 100 if quick else 2_000
+    queries = 0
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        profile = ResourceProfile.from_cluster(cluster, 0.0)
+        for size, duration in requests:
+            start = profile.earliest_start(size, duration)
+            profile.reserve(start, size, duration)
+            queries += 1
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="conservative-profile",
+        reps=reps,
+        wall_s=wall,
+        rate_key="events_per_s",
+        rate=queries / wall if wall > 0 else 0.0,
+        extra={"num_nodes": 64, "requests_per_rep": len(requests)},
+    )
+
+
+# -- NN benchmarks -------------------------------------------------------------
+
+def _bench_network(seed: int):
+    """A mid-size DRAS network + batched input for the NN benchmarks."""
+    from repro.nn.network import build_dras_network
+
+    rows, hidden1, hidden2, outputs = 280, 512, 128, 20
+    rng = np.random.default_rng(seed)
+    net = build_dras_network(rows, hidden1, hidden2, outputs, rng=rng)
+    x = rng.normal(size=(8, rows, 2))
+    return net, x, {"rows": rows, "hidden1": hidden1, "hidden2": hidden2,
+                    "outputs": outputs, "batch": 8}
+
+
+def bench_nn_forward(seed: int = 0, quick: bool = False) -> BenchResult:
+    """Forward passes per second through the five-layer DRAS network."""
+    net, x, shape = _bench_network(seed)
+    reps = 30 if quick else 300
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        net.forward(x)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="nn-forward",
+        reps=reps,
+        wall_s=wall,
+        rate_key="steps_per_s",
+        rate=reps / wall if wall > 0 else 0.0,
+        extra=shape,
+    )
+
+
+def bench_nn_train_step(seed: int = 0, quick: bool = False) -> BenchResult:
+    """Full train steps (forward + backward + Adam) per second."""
+    from repro.nn.optim import Adam
+
+    net, x, shape = _bench_network(seed)
+    optimizer = Adam(net.parameters(), lr=1e-3)
+    reps = 20 if quick else 200
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        out = net.forward(x)
+        grad = np.ones_like(out) / out.size
+        net.zero_grad()
+        net.backward(grad)
+        optimizer.step()
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="nn-train-step",
+        reps=reps,
+        wall_s=wall,
+        rate_key="steps_per_s",
+        rate=reps / wall if wall > 0 else 0.0,
+        extra=shape,
+    )
+
+
+# -- suites and file output ----------------------------------------------------
+
+SIM_BENCHES: tuple[Callable[..., BenchResult], ...] = (
+    bench_engine_throughput,
+    lambda seed=0, quick=False: bench_engine_throughput(
+        seed=seed, quick=quick, trace_to_null=True
+    ),
+    bench_backfill,
+    bench_conservative_profile,
+)
+
+NN_BENCHES: tuple[Callable[..., BenchResult], ...] = (
+    bench_nn_forward,
+    bench_nn_train_step,
+)
+
+
+def run_suite(
+    kind: str,
+    seed: int = 0,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the ``"sim"`` or ``"nn"`` suite; returns the JSON document."""
+    benches = {"sim": SIM_BENCHES, "nn": NN_BENCHES}.get(kind)
+    if benches is None:
+        raise ValueError(f"unknown bench suite {kind!r}; use 'sim' or 'nn'")
+    sha = git_sha()
+    entries = []
+    for bench in benches:
+        result = bench(seed=seed, quick=quick)
+        entries.append(result.as_dict(seed, sha))
+        if progress is not None:
+            progress(
+                f"{result.name}: {result.rate:,.0f} {result.rate_key} "
+                f"({result.reps} reps, {result.wall_s:.2f} s)"
+            )
+    manifest = RunManifest.create(
+        kind="bench",
+        seed=seed,
+        config={"suite": kind, "quick": quick},
+        summary={e["name"]: e.get("events_per_s") or e.get("steps_per_s")
+                 for e in entries},
+        sha=sha,
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "quick": quick,
+        "benchmarks": entries,
+        "manifest": manifest.as_dict(),
+    }
+
+
+def write_bench_files(
+    out_dir: str | Path = ".",
+    seed: int = 0,
+    quick: bool = False,
+    only: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[Path]:
+    """Run the selected suites and write ``BENCH_<kind>.json`` files.
+
+    ``only`` restricts to one suite (``"sim"`` or ``"nn"``); the default
+    runs both.  Returns the written paths.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    kinds = (only,) if only else ("sim", "nn")
+    paths = []
+    for kind in kinds:
+        doc = run_suite(kind, seed=seed, quick=quick, progress=progress)
+        path = out_dir / f"BENCH_{kind}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def validate_bench_doc(doc: dict[str, Any]) -> list[str]:
+    """Schema-check one BENCH document; returns a list of problems.
+
+    An empty list means the document is valid.  Used by the smoke test
+    and by ``scripts/check_bench_regression.py`` before comparing.
+    """
+    problems = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    if doc.get("kind") not in ("sim", "nn"):
+        problems.append(f"kind is {doc.get('kind')!r}, expected 'sim' or 'nn'")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        problems.append("benchmarks must be a non-empty list")
+        benchmarks = []
+    for i, entry in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        for key in ("name", "reps", "wall_s", "seed", "git_sha"):
+            if key not in entry:
+                problems.append(f"{where}: missing {key!r}")
+        rates = [k for k in ("events_per_s", "steps_per_s") if k in entry]
+        if len(rates) != 1:
+            problems.append(
+                f"{where}: needs exactly one of events_per_s/steps_per_s, "
+                f"has {rates}"
+            )
+        elif not entry[rates[0]] > 0:
+            problems.append(f"{where}: {rates[0]} must be positive")
+        if "reps" in entry and not entry["reps"] > 0:
+            problems.append(f"{where}: reps must be positive")
+        if "wall_s" in entry and not entry["wall_s"] > 0:
+            problems.append(f"{where}: wall_s must be positive")
+    if not isinstance(doc.get("manifest"), dict):
+        problems.append("manifest block missing")
+    return problems

@@ -1,0 +1,207 @@
+"""Lightweight always-on metrics: counters, gauges, EMA wall-clock timers.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Instruments are plain Python objects with ``__slots__`` and integer /
+float arithmetic only — cheap enough to leave enabled permanently in
+the simulator hot loop (the engine-throughput benchmark in
+``BENCH_sim.json`` measures them as part of the baseline).
+
+Instruments never feed back into simulation state; they are
+observe-only, so runs with and without consumers reading them are
+bit-identical.
+
+Usage::
+
+    registry = MetricsRegistry()
+    registry.counter("jobs.started").inc()
+    registry.gauge("queue.depth").set(17)
+    with registry.timer("schedule_s").time():
+        policy.schedule(view)
+    registry.snapshot()   # plain-dict summary of every instrument
+
+:class:`~repro.sim.engine.Engine`, :class:`~repro.rl.trainer.Trainer`
+and every scheduler deriving from
+:class:`~repro.schedulers.base.BaseScheduler` expose a registry as
+``.metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the count."""
+        self.value += n
+
+
+class Gauge:
+    """A value that goes up and down, remembering its extremes."""
+
+    __slots__ = ("value", "min", "max", "samples")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the tracked quantity."""
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.samples += 1
+
+
+class Timer:
+    """Accumulates wall-clock durations with an exponential moving average.
+
+    Durations come from ``time.perf_counter()`` (monotonic, never the
+    host date).  ``ema`` smooths with factor ``ema_alpha`` — the first
+    observation seeds it, after which
+    ``ema = alpha * sample + (1 - alpha) * ema``.
+    """
+
+    __slots__ = ("count", "total", "last", "ema", "ema_alpha")
+
+    def __init__(self, ema_alpha: float = 0.2) -> None:
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        self.count = 0
+        self.total = 0.0
+        self.last = 0.0
+        self.ema = 0.0
+        self.ema_alpha = ema_alpha
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration sample (in seconds)."""
+        self.count += 1
+        self.total += seconds
+        self.last = seconds
+        if self.count == 1:
+            self.ema = seconds
+        else:
+            self.ema += self.ema_alpha * (seconds - self.ema)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observed durations."""
+        return self.total / self.count if self.count else 0.0
+
+    def time(self) -> "_TimerContext":
+        """Context manager observing the duration of a ``with`` block."""
+        return _TimerContext(self)
+
+
+class _TimerContext:
+    """Context manager produced by :meth:`Timer.time`."""
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.observe(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Flat get-or-create namespace of named instruments.
+
+    Asking for an existing name returns the same instrument object, so
+    hot paths can cache the instrument once and skip the dict lookup.
+    A name is bound to one instrument kind for the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, factory: type, **kwargs: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory(**kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {factory.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def timer(self, name: str, ema_alpha: float = 0.2) -> Timer:
+        """Get or create the timer ``name``."""
+        return self._get(name, Timer, ema_alpha=ema_alpha)
+
+    def alias(self, name: str, instrument: Any) -> None:
+        """Bind an existing instrument object under ``name`` here.
+
+        Lets two registries share one instrument so hot paths record a
+        sample exactly once (the engine aliases its ``schedule_s`` timer
+        and ``instances`` counter into the scheduler's registry at the
+        start of every run).  Replaces any previous binding.
+        """
+        if not isinstance(instrument, (Counter, Gauge, Timer)):
+            raise TypeError(f"not an instrument: {type(instrument).__name__}")
+        self._instruments[name] = instrument
+
+    def names(self) -> list[str]:
+        """All registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Summarize every instrument as plain JSON-friendly values.
+
+        Counters map to their integer value; gauges to
+        ``{value, min, max, samples}``; timers to
+        ``{count, total_s, mean_s, last_s, ema_s}``.
+        """
+        out: dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[name] = {
+                    "value": instrument.value,
+                    "min": instrument.min if instrument.samples else None,
+                    "max": instrument.max if instrument.samples else None,
+                    "samples": instrument.samples,
+                }
+            elif isinstance(instrument, Timer):
+                out[name] = {
+                    "count": instrument.count,
+                    "total_s": instrument.total,
+                    "mean_s": instrument.mean,
+                    "last_s": instrument.last,
+                    "ema_s": instrument.ema,
+                }
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (names become unbound again)."""
+        self._instruments.clear()

@@ -1,0 +1,333 @@
+"""Structured JSONL event tracer for the simulator and NN stack.
+
+One :class:`Tracer` writes one JSON object per line to a sink file.
+Three record families exist:
+
+* **spans** — ``begin``/``end`` record pairs with a span id (``sid``)
+  and parent id (``pid``), forming a tree.  The engine opens one span
+  per scheduling instance; the NN stack opens spans around forward,
+  backward and optimizer steps.
+* **events** — instantaneous points (job start, node release, a
+  reservation) attributed to the enclosing span via ``pid``.
+* **counters** — named numeric samples for ad-hoc time series.
+
+Every record carries a ``wall`` field (``time.perf_counter()``, a
+duration-only monotonic clock — never the host date) so span durations
+can be recovered; simulator records additionally carry the engine clock
+in a ``t`` field.
+
+Activation mirrors the PR 1 sanitizer contract:
+
+* globally, via the ``REPRO_TRACE`` environment variable naming the
+  output path (read once per process; see :func:`global_tracer`), or
+* per engine, via ``Engine(trace=...)`` with a path or a
+  :class:`Tracer`.
+
+When no tracer is active the instrumented hot paths cost a single
+``None`` check, and a traced run is bit-identical to an untraced one:
+the tracer only appends to its sink and never reads or mutates
+simulation, RNG or network state.
+
+Reading a trace back::
+
+    records = read_trace("trace.jsonl")
+    roots = build_span_tree(records)
+
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, IO, Iterable
+
+#: schema tag stamped into the first record of every trace file
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars and other non-JSON types to plain Python."""
+    for attr in ("item",):  # numpy scalars expose .item()
+        fn = getattr(value, attr, None)
+        if callable(fn):
+            return fn()
+    return str(value)
+
+
+class Tracer:
+    """Appends structured records to a JSONL sink.
+
+    Parameters
+    ----------
+    sink:
+        Path (opened for writing, truncating) or an open text file-like
+        object (not closed by :meth:`close`).
+    buffer_lines:
+        Records are buffered and flushed to the sink every this many
+        lines (and on :meth:`close`/:meth:`flush`), keeping the per-record
+        cost to a ``json.dumps`` plus a list append.
+    """
+
+    def __init__(self, sink: str | Path | IO[str], buffer_lines: int = 256) -> None:
+        if buffer_lines <= 0:
+            raise ValueError("buffer_lines must be positive")
+        if isinstance(sink, (str, Path)):
+            self._fh: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = sink
+            self._owns_fh = False
+        self._buffer: list[str] = []
+        self._buffer_lines = buffer_lines
+        self._next_sid = 1
+        self._stack: list[int] = []
+        self._closed = False
+        self._write({"type": "meta", "schema": TRACE_SCHEMA})
+
+    # -- record emission ---------------------------------------------------
+    def _write(self, record: dict[str, Any]) -> None:
+        self._buffer.append(json.dumps(record, default=_json_default))
+        if len(self._buffer) >= self._buffer_lines:
+            self.flush()
+
+    def begin(self, name: str, **fields: Any) -> int:
+        """Open a span; returns its id.  Close it with :meth:`end`."""
+        sid = self._next_sid
+        self._next_sid += 1
+        record: dict[str, Any] = {
+            "type": "begin",
+            "name": name,
+            "sid": sid,
+            "pid": self._stack[-1] if self._stack else None,
+            "wall": time.perf_counter(),
+        }
+        if fields:
+            record.update(fields)
+        self._write(record)
+        self._stack.append(sid)
+        return sid
+
+    def end(self, sid: int) -> None:
+        """Close the span ``sid`` (must be the innermost open span)."""
+        if not self._stack or self._stack[-1] != sid:
+            raise ValueError(
+                f"span {sid} is not the innermost open span "
+                f"(stack: {self._stack[-3:]})"
+            )
+        self._stack.pop()
+        self._write({"type": "end", "sid": sid, "wall": time.perf_counter()})
+
+    def span(self, name: str, **fields: Any) -> "_SpanContext":
+        """Context manager opening a span around a ``with`` block."""
+        return _SpanContext(self, name, fields)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record an instantaneous event inside the current span."""
+        record: dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "pid": self._stack[-1] if self._stack else None,
+            "wall": time.perf_counter(),
+        }
+        if fields:
+            record.update(fields)
+        self._write(record)
+
+    def counter(self, name: str, value: float, **fields: Any) -> None:
+        """Record a named numeric sample."""
+        record: dict[str, Any] = {
+            "type": "counter",
+            "name": name,
+            "value": value,
+            "pid": self._stack[-1] if self._stack else None,
+            "wall": time.perf_counter(),
+        }
+        if fields:
+            record.update(fields)
+        self._write(record)
+
+    # -- lifecycle ----------------------------------------------------------
+    def flush(self) -> None:
+        """Write buffered records through to the sink."""
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and (if this tracer opened the sink) close it."""
+        if self._closed:
+            return
+        self.flush()
+        if self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_fields", "_sid")
+
+    def __init__(self, tracer: Tracer, name: str, fields: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._fields = fields
+        self._sid = -1
+
+    def __enter__(self) -> "_SpanContext":
+        self._sid = self._tracer.begin(self._name, **self._fields)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer.end(self._sid)
+
+
+# -- global (environment-driven) tracer ---------------------------------------
+
+_GLOBAL: Tracer | None = None
+_GLOBAL_LOADED = False
+
+
+def global_tracer() -> "Tracer | None":
+    """The process-wide tracer, or ``None`` when tracing is off.
+
+    On first call the ``REPRO_TRACE`` environment variable is consulted:
+    a non-empty value names the JSONL output path and activates tracing
+    for every instrumented component in the process.  Subsequent calls
+    return the cached result, so the disabled path costs one global
+    lookup and a ``None`` check.
+    """
+    global _GLOBAL, _GLOBAL_LOADED
+    if not _GLOBAL_LOADED:
+        _GLOBAL_LOADED = True
+        path = os.environ.get("REPRO_TRACE", "").strip()
+        if path:
+            _GLOBAL = Tracer(path)
+    return _GLOBAL
+
+
+def set_global_tracer(tracer: "Tracer | None") -> "Tracer | None":
+    """Install (or clear, with ``None``) the global tracer.
+
+    Returns the previous tracer so tests can restore it.  Passing a
+    tracer bypasses the ``REPRO_TRACE`` environment variable; passing
+    ``None`` disables global tracing until the next explicit install
+    (the environment variable is *not* re-read).
+    """
+    global _GLOBAL, _GLOBAL_LOADED
+    previous = _GLOBAL if _GLOBAL_LOADED else None
+    _GLOBAL = tracer
+    _GLOBAL_LOADED = True
+    return previous
+
+
+# -- reading traces back -------------------------------------------------------
+
+@dataclass
+class Span:
+    """One reconstructed span of a parsed trace.
+
+    Attributes
+    ----------
+    name, sid, pid:
+        Identity: span name, span id, parent span id (``None`` for roots).
+    fields:
+        Extra key/value pairs attached at ``begin`` time.
+    wall_begin, wall_end:
+        ``perf_counter`` readings; ``wall_end`` is ``None`` for spans the
+        trace never closed (e.g. a crashed run).
+    children, events, counters:
+        Nested spans and the event/counter records attributed to this span.
+    """
+
+    name: str
+    sid: int
+    pid: int | None
+    fields: dict[str, Any] = field(default_factory=dict)
+    wall_begin: float = 0.0
+    wall_end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    counters: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock span duration in seconds (0.0 if never closed)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_begin
+
+    def walk(self) -> "Iterable[Span]":
+        """Yield this span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+_META_KEYS = frozenset({"type", "name", "sid", "pid", "wall"})
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into a list of record dicts."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid trace line") from exc
+    return records
+
+
+def build_span_tree(records: Iterable[dict[str, Any]]) -> list[Span]:
+    """Reconstruct the span forest of a parsed trace.
+
+    Returns the root spans (those with no parent).  Events and counters
+    are attached to their enclosing span; records emitted outside any
+    span are dropped (they have no tree position).
+    """
+    spans: dict[int, Span] = {}
+    roots: list[Span] = []
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "begin":
+            fields = {k: v for k, v in record.items() if k not in _META_KEYS}
+            span = Span(
+                name=record["name"],
+                sid=record["sid"],
+                pid=record.get("pid"),
+                fields=fields,
+                wall_begin=record.get("wall", 0.0),
+            )
+            spans[span.sid] = span
+            parent = spans.get(span.pid) if span.pid is not None else None
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                roots.append(span)
+        elif rtype == "end":
+            span = spans.get(record["sid"])
+            if span is not None:
+                span.wall_end = record.get("wall")
+        elif rtype in ("event", "counter"):
+            pid = record.get("pid")
+            span = spans.get(pid) if pid is not None else None
+            if span is not None:
+                if rtype == "event":
+                    span.events.append(record)
+                else:
+                    span.counters.append(record)
+    return roots

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
 from repro.rl.meter import RewardMeter
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Engine
@@ -94,6 +96,8 @@ class Trainer:
         self.num_nodes = num_nodes
         self.validation_jobs = validation_jobs
         self.snapshot_every = snapshot_every
+        #: always-on training statistics (episode counts, phase timers)
+        self.metrics = MetricsRegistry()
 
     # -- single pieces -----------------------------------------------------------
     def run_episode(self, jobset: list[Job]) -> float:
@@ -106,7 +110,14 @@ class Trainer:
             [j.copy_fresh() for j in jobset],
             observers=[meter],
         )
-        engine.run()
+        tracer = _trace.global_tracer()
+        with self.metrics.timer("train.episode_s").time():
+            if tracer is None:
+                engine.run()
+            else:
+                with tracer.span("train.episode", jobs=len(jobset)):
+                    engine.run()
+        self.metrics.counter("train.episodes").inc()
         return meter.total
 
     def validate(self) -> float:
@@ -122,7 +133,15 @@ class Trainer:
             [j.copy_fresh() for j in self.validation_jobs],
             observers=[meter],
         )
-        engine.run()
+        tracer = _trace.global_tracer()
+        with self.metrics.timer("train.validate_s").time():
+            if tracer is None:
+                engine.run()
+            else:
+                with tracer.span("train.validate",
+                                 jobs=len(self.validation_jobs)):
+                    engine.run()
+        self.metrics.counter("train.validations").inc()
         self.agent.learning = was_learning
         return meter.total
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import SchedulingView
 
 
@@ -11,12 +12,29 @@ class BaseScheduler:
     Subclasses implement :meth:`schedule`; the engine calls it once per
     scheduling instance with a :class:`~repro.sim.engine.SchedulingView`
     through which the policy takes its actions.
+
+    Every policy exposes a lazily-created :class:`MetricsRegistry` as
+    :attr:`metrics`.  At the start of each run the engine aliases its
+    own ``schedule_s`` timer and ``instances`` counter into this
+    registry (so after a run they reflect the most recent engine);
+    subclasses may record their own instruments (e.g. backfill hit
+    rates) into the same registry.
     """
 
     #: human-readable policy name, used in experiment reports
     name: str = "base"
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Per-policy metrics registry (created on first access)."""
+        registry = getattr(self, "_metrics", None)
+        if registry is None:
+            registry = MetricsRegistry()
+            self._metrics = registry
+        return registry
+
     def schedule(self, view: SchedulingView) -> None:
+        """Take scheduling actions for one instance via ``view``."""
         raise NotImplementedError
 
     # Optional lifecycle hooks --------------------------------------------

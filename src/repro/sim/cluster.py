@@ -65,9 +65,11 @@ class Cluster:
 
     @property
     def running_job_ids(self) -> list[int]:
+        """IDs of all currently running jobs, in allocation order."""
         return list(self._alloc.keys())
 
     def is_running(self, job_id: int) -> bool:
+        """Whether ``job_id`` currently holds an allocation."""
         return job_id in self._alloc
 
     def nodes_of(self, job_id: int) -> np.ndarray:
@@ -75,6 +77,7 @@ class Cluster:
         return self._alloc[job_id].copy()
 
     def can_fit(self, size: int) -> bool:
+        """Whether ``size`` nodes could be allocated right now."""
         return size <= self.available_nodes
 
     # -- paper state encoding --------------------------------------------------

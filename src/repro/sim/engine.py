@@ -23,10 +23,15 @@ Execution-mode attribution follows section III-B:
 from __future__ import annotations
 
 import enum
+import time
+from time import perf_counter as _perf_counter
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Protocol, Sequence
 
 from repro.check import sanitize as _san
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.backfill import BackfillPlanner, Reservation
 from repro.sim.cluster import Cluster
 from repro.sim.events import EventKind, EventQueue
@@ -39,6 +44,8 @@ class SimulationError(RuntimeError):
 
 
 class ActionKind(enum.Enum):
+    """What a recorded scheduling action did: start or reserve a job."""
+
     START = "start"
     RESERVE = "reserve"
 
@@ -76,18 +83,22 @@ class SchedulingView:
     # -- observations ---------------------------------------------------------
     @property
     def now(self) -> float:
+        """Current simulation time."""
         return self._engine.now
 
     @property
     def cluster(self) -> Cluster:
+        """The simulated machine (read access for state encoding)."""
         return self._engine.cluster
 
     @property
     def free_nodes(self) -> int:
+        """Nodes free right now."""
         return self._engine.cluster.available_nodes
 
     @property
     def num_nodes(self) -> int:
+        """Total system size."""
         return self._engine.cluster.num_nodes
 
     def waiting(self) -> list[Job]:
@@ -105,6 +116,7 @@ class SchedulingView:
 
     @property
     def reserved_job(self) -> Job | None:
+        """The job holding this instance's reservation, if any."""
         return self._reserved_job
 
     @property
@@ -172,6 +184,13 @@ class SchedulingView:
         self._reservation = reservation
         self._reserved_job = job
         self._engine._record(Action(ActionKind.RESERVE, job.job_id, self.now))
+        self._engine._m_reservations.value += 1
+        if self._engine._run_tracer is not None:
+            self._engine._run_tracer.event(
+                "engine.backfill_reserve", t=self.now, job=job.job_id,
+                size=job.size, shadow_time=reservation.shadow_time,
+                extra_nodes=reservation.extra_nodes,
+            )
         return reservation
 
 
@@ -201,6 +220,7 @@ class SimulationResult:
 
     @property
     def finished_jobs(self) -> list[Job]:
+        """The subset of jobs that ran to completion."""
         return [j for j in self.jobs if j.state is JobState.FINISHED]
 
     @property
@@ -233,6 +253,12 @@ class Engine:
         Activate the runtime invariant checks of
         :mod:`repro.check.sanitize` for this engine and its cluster.
         ``None`` (the default) follows the ``REPRO_SANITIZE`` env var.
+    trace:
+        Structured-event tracing (:mod:`repro.obs.trace`).  Pass a
+        :class:`~repro.obs.trace.Tracer`, or a path to create one.
+        ``None`` (the default) follows the process-global tracer
+        (``REPRO_TRACE=path`` env var).  Tracing is observe-only: a
+        traced run is bit-identical to an untraced one.
     """
 
     def __init__(
@@ -244,12 +270,16 @@ class Engine:
         max_time: float | None = None,
         record_actions: bool = False,
         sanitize: bool | None = None,
+        trace: "_trace.Tracer | str | Path | None" = None,
     ) -> None:
         self.cluster = cluster
         self._sanitize_flag = sanitize
         if sanitize is not None:
             # an explicit engine flag governs its cluster too
             cluster._sanitize = sanitize
+        if isinstance(trace, (str, Path)):
+            trace = _trace.Tracer(trace)
+        self._trace_flag = trace
         self.scheduler = scheduler
         self.queue = WaitQueue()
         self.planner = BackfillPlanner(cluster)
@@ -262,6 +292,17 @@ class Engine:
         self._running: dict[int, Job] = {}
         self._record_actions = record_actions
         self._actions: list[Action] = []
+        #: always-on run statistics (cheap int/float updates only)
+        self.metrics = MetricsRegistry()
+        self._m_submits = self.metrics.counter("engine.events_submit")
+        self._m_finishes = self.metrics.counter("engine.events_finish")
+        self._m_instances = self.metrics.counter("engine.instances")
+        self._m_starts = self.metrics.counter("engine.jobs_started")
+        self._m_reservations = self.metrics.counter("engine.reservations")
+        self._m_queue_depth = self.metrics.gauge("engine.queue_depth")
+        self._m_schedule = self.metrics.timer("engine.schedule_s")
+        #: tracer resolved at the top of :meth:`run` (None when off)
+        self._run_tracer: "_trace.Tracer | None" = None
 
         for job in jobs:
             if job.state is not JobState.PENDING:
@@ -285,6 +326,13 @@ class Engine:
             return self._sanitize_flag
         return _san.sanitizer_enabled()
 
+    @property
+    def tracer(self) -> "_trace.Tracer | None":
+        """The tracer this engine writes to (explicit, else global)."""
+        if self._trace_flag is not None:
+            return self._trace_flag
+        return _trace.global_tracer()
+
     # -- internal hooks used by the view ----------------------------------------
     def _record(self, action: Action) -> None:
         if self._record_actions:
@@ -299,6 +347,12 @@ class Engine:
         self._running[job.job_id] = job
         self.events.push(self.now + job.runtime, EventKind.FINISH, job.job_id)
         self._record(Action(ActionKind.START, job.job_id, self.now, mode))
+        self._m_starts.value += 1
+        if self._run_tracer is not None:
+            self._run_tracer.event(
+                "engine.allocate", t=self.now, job=job.job_id,
+                size=job.size, mode=mode.value,
+            )
         for obs in self.observers:
             handler = getattr(obs, "on_start", None)
             if handler is not None:
@@ -309,6 +363,10 @@ class Engine:
         job.mark_finished(self.now)
         del self._running[job.job_id]
         self.queue.notify_finished(job)
+        if self._run_tracer is not None:
+            self._run_tracer.event(
+                "engine.release", t=self.now, job=job.job_id, size=job.size,
+            )
         for obs in self.observers:
             handler = getattr(obs, "on_finish", None)
             if handler is not None:
@@ -316,6 +374,7 @@ class Engine:
 
     @property
     def running_jobs(self) -> dict[int, Job]:
+        """Snapshot of currently running jobs, keyed by job id."""
         return dict(self._running)
 
     # -- main loop -----------------------------------------------------------------
@@ -339,6 +398,14 @@ class Engine:
             hook(self)
 
         sanitize_active = self.sanitize_active
+        tracer = self.tracer
+        self._run_tracer = tracer
+        # share (not duplicate) the per-instance instruments with the
+        # scheduler's registry, so the hot loop records each sample once
+        sched_metrics = getattr(self.scheduler, "metrics", None)
+        if isinstance(sched_metrics, MetricsRegistry):
+            sched_metrics.alias("schedule_s", self._m_schedule)
+            sched_metrics.alias("instances", self._m_instances)
         while self.events:
             if self.max_time is not None and self.events.peek().time > self.max_time:
                 break
@@ -346,13 +413,20 @@ class Engine:
             if sanitize_active:
                 _san.check_monotonic_time(self.now, batch[0].time)
             self.now = batch[0].time
+            if tracer is not None:
+                span = tracer.begin("engine.instance", t=self.now,
+                                    batch=len(batch))
             for event in batch:
                 job = self._jobs[event.job_id]
                 if event.kind is EventKind.FINISH:
+                    self._m_finishes.value += 1
                     self._finish_job(job)
                 else:
+                    self._m_submits.value += 1
                     self.queue.submit(job)
             self._run_instance()
+            if tracer is not None:
+                tracer.end(span)
 
         if len(self.queue) > 0 and not self._running:
             stuck = [j.job_id for j in self.queue.waiting]
@@ -364,6 +438,10 @@ class Engine:
         hook = getattr(self.scheduler, "on_simulation_end", None)
         if hook is not None:
             hook(self)
+
+        if tracer is not None:
+            tracer.flush()
+        self._run_tracer = None
 
         return SimulationResult(
             jobs=list(self._jobs.values()),
@@ -377,8 +455,29 @@ class Engine:
     def _run_instance(self) -> None:
         """Invoke the policy once (one scheduling instance)."""
         self.num_instances += 1
+        self._m_instances.value += 1
+        # instrument updates are inlined (no method calls): this runs
+        # once per scheduling instance and dominates metric overhead
+        depth = len(self.queue)
+        gauge = self._m_queue_depth
+        gauge.value = depth
+        if depth < gauge.min:
+            gauge.min = depth
+        if depth > gauge.max:
+            gauge.max = depth
+        gauge.samples += 1
         view = SchedulingView(self)
+        timer = self._m_schedule
+        t0 = _perf_counter()
         self.scheduler.schedule(view)
+        sample = _perf_counter() - t0
+        timer.count += 1
+        timer.total += sample
+        timer.last = sample
+        if timer.count == 1:
+            timer.ema = sample
+        else:
+            timer.ema += timer.ema_alpha * (sample - timer.ema)
         for obs in self.observers:
             handler = getattr(obs, "on_instance", None)
             if handler is not None:
@@ -393,6 +492,7 @@ def run_simulation(
     max_time: float | None = None,
     record_actions: bool = False,
     sanitize: bool | None = None,
+    trace: "_trace.Tracer | str | Path | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a cluster + engine and run it."""
     cluster = Cluster(num_nodes, sanitize=sanitize)
@@ -404,5 +504,6 @@ def run_simulation(
         max_time=max_time,
         record_actions=record_actions,
         sanitize=sanitize,
+        trace=trace,
     )
     return engine.run()

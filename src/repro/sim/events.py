@@ -29,6 +29,13 @@ class EventKind(enum.IntEnum):
 
 @dataclass(order=True)
 class Event:
+    """One timestamped occurrence (job finish or submit).
+
+    Ordering is ``(time, kind, seq)``: finishes sort before submits at
+    the same timestamp, and ``seq`` breaks remaining ties by insertion
+    order, keeping the heap deterministic.
+    """
+
     time: float
     kind: EventKind
     seq: int = field(compare=True)
@@ -43,6 +50,7 @@ class EventQueue:
         self._seq = itertools.count()
 
     def push(self, time: float, kind: EventKind, job_id: int) -> Event:
+        """Schedule an event; returns the stored :class:`Event`."""
         if time < 0:
             raise ValueError(f"event time must be >= 0, got {time}")
         event = Event(float(time), kind, next(self._seq), job_id)
@@ -50,11 +58,13 @@ class EventQueue:
         return event
 
     def pop(self) -> Event:
+        """Remove and return the earliest event."""
         if not self._heap:
             raise IndexError("pop from empty event queue")
         return heapq.heappop(self._heap)
 
     def peek(self) -> Event:
+        """Return the earliest event without removing it."""
         if not self._heap:
             raise IndexError("peek at empty event queue")
         return self._heap[0]
@@ -83,4 +93,5 @@ class EventQueue:
         return bool(self._heap)
 
     def clear(self) -> None:
+        """Drop all pending events."""
         self._heap.clear()

@@ -141,6 +141,7 @@ class Job:
 
     # -- lifecycle transitions ---------------------------------------------
     def mark_started(self, now: float, mode: ExecMode) -> None:
+        """Transition to RUNNING at ``now`` under execution mode ``mode``."""
         if self.state not in (JobState.WAITING, JobState.PENDING):
             raise RuntimeError(f"job {self.job_id} cannot start from state {self.state}")
         if now + 1e-9 < self.submit_time:
@@ -150,6 +151,7 @@ class Job:
         self.mode = mode
 
     def mark_finished(self, now: float) -> None:
+        """Transition from RUNNING to FINISHED at ``now``."""
         if self.state is not JobState.RUNNING:
             raise RuntimeError(f"job {self.job_id} cannot finish from state {self.state}")
         self.state = JobState.FINISHED

@@ -50,6 +50,7 @@ class RunMetrics:
     def from_result(
         cls, result: SimulationResult, slowdown_bound: float = 0.0
     ) -> "RunMetrics":
+        """Compute all scalar metrics from a finished simulation run."""
         jobs = result.finished_jobs
         if _san.sanitizer_enabled():
             for job in jobs:
@@ -90,6 +91,7 @@ class RunMetrics:
         )
 
     def as_dict(self) -> dict[str, float]:
+        """All metrics as a flat, JSON-serialisable mapping."""
         return {
             "num_jobs": self.num_jobs,
             "avg_wait": self.avg_wait,
@@ -113,6 +115,7 @@ class ModeBreakdown:
 
     @classmethod
     def from_jobs(cls, jobs: list[Job]) -> "ModeBreakdown":
+        """Aggregate per-execution-mode shares over finished jobs."""
         finished = [j for j in jobs if j.state is JobState.FINISHED]
         total_jobs = len(finished)
         total_ch = sum(j.core_hours for j in finished)
@@ -219,20 +222,24 @@ class MetricsRecorder:
         self._last_used = used
 
     def on_start(self, job: Job, now: float) -> None:
+        """Observer hook: integrate occupancy up to ``now``, then add."""
         # occupancy changes *after* the start; integrate up to now first
         self._advance(now, self._last_used)
         self._last_used += job.size
 
     def on_finish(self, job: Job, now: float) -> None:
+        """Observer hook: integrate occupancy up to ``now``, then subtract."""
         self._advance(now, self._last_used)
         self._last_used -= job.size
 
     def on_instance(self, view: SchedulingView, started) -> None:
+        """Observer hook: sample utilization at each scheduling instance."""
         self.instance_utilizations.append(
             view.cluster.used_nodes / view.cluster.num_nodes
         )
 
     def occupancy_node_seconds(self, until: float | None = None) -> float:
+        """Node-seconds of occupancy integrated so far (or up to ``until``)."""
         total = self._node_seconds
         if until is not None and self._last_time is not None and until > self._last_time:
             total += self._last_used * (until - self._last_time)

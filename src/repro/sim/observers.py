@@ -25,18 +25,22 @@ class QueueDepthRecorder:
         self.held: list[int] = []
 
     def on_instance(self, view: SchedulingView, started) -> None:
+        """Observer hook: record queue depth at this instance."""
         self.times.append(view.now)
         self.depths.append(len(view.waiting()))
         self.held.append(view._engine.queue.total_pending - len(view.waiting()))
 
     @property
     def max_depth(self) -> int:
+        """Deepest queue observed (0 when no instances ran)."""
         return max(self.depths, default=0)
 
     def mean_depth(self) -> float:
+        """Average queue depth over all instances (0 when none ran)."""
         return float(np.mean(self.depths)) if self.depths else 0.0
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, depths)`` as numpy arrays, for plotting."""
         return np.asarray(self.times), np.asarray(self.depths, dtype=np.int64)
 
 
@@ -65,9 +69,11 @@ class UtilizationTimeline:
             self._used.append(used)
 
     def on_start(self, job: Job, now: float) -> None:
+        """Observer hook: occupancy step up by ``job.size``."""
         self._record(now, self._used[-1] + job.size)
 
     def on_finish(self, job: Job, now: float) -> None:
+        """Observer hook: occupancy step down by ``job.size``."""
         self._record(now, self._used[-1] - job.size)
 
     def utilization_between(self, t0: float, t1: float) -> float:
@@ -85,11 +91,14 @@ class UtilizationTimeline:
         return integral / (self.num_nodes * (t1 - t0))
 
     def steps(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, used_nodes)`` breakpoints of the step function."""
         return np.asarray(self._times), np.asarray(self._used, dtype=np.int64)
 
 
 @dataclass(frozen=True)
 class LoggedEvent:
+    """One start or finish, as recorded by :class:`EventLog`."""
+
     time: float
     kind: str           #: "start" | "finish"
     job_id: int
@@ -104,16 +113,20 @@ class EventLog:
     events: list[LoggedEvent] = field(default_factory=list)
 
     def on_start(self, job: Job, now: float) -> None:
+        """Observer hook: append a ``start`` record."""
         self.events.append(
             LoggedEvent(now, "start", job.job_id, job.size,
                         job.mode.value if job.mode else None)
         )
 
     def on_finish(self, job: Job, now: float) -> None:
+        """Observer hook: append a ``finish`` record."""
         self.events.append(LoggedEvent(now, "finish", job.job_id, job.size))
 
     def starts(self) -> list[LoggedEvent]:
+        """Only the ``start`` records, in time order."""
         return [e for e in self.events if e.kind == "start"]
 
     def finishes(self) -> list[LoggedEvent]:
+        """Only the ``finish`` records, in time order."""
         return [e for e in self.events if e.kind == "finish"]

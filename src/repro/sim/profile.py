@@ -34,8 +34,12 @@ class ResourceProfile:
     """
 
     def __init__(self, times: list[float], free: list[int], num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
         if len(times) != len(free) or not times:
             raise ValueError("times and free must be equal-length, non-empty")
+        if any(not math.isfinite(t) for t in times):
+            raise ValueError("breakpoints must be finite")
         if any(b <= a for a, b in zip(times, times[1:])):
             raise ValueError("times must be strictly increasing")
         if any(f < 0 or f > num_nodes for f in free):
@@ -132,4 +136,5 @@ class ResourceProfile:
         self._free.insert(idx + 1, self._free[idx])
 
     def steps(self) -> tuple[list[float], list[int]]:
+        """``(times, free_counts)`` breakpoints (copies)."""
         return list(self._times), list(self._free)

@@ -78,6 +78,7 @@ class WaitQueue:
 
     @property
     def held(self) -> list[Job]:
+        """Jobs whose dependencies are not yet satisfied (a copy)."""
         return list(self._held)
 
     def __len__(self) -> int:
@@ -92,6 +93,7 @@ class WaitQueue:
         return job in self._waiting
 
     def clear(self) -> None:
+        """Drop all queued, held, and finished bookkeeping."""
         self._waiting.clear()
         self._held.clear()
         self._finished.clear()

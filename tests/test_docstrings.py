@@ -1,0 +1,103 @@
+"""Docstring audit for the public API of ``repro.sim`` and ``repro.obs``.
+
+Every public module, class, function, and method in the simulator and
+the observability layer must carry a docstring.  This is a lint-adjacent
+test: it walks the source with :mod:`ast` rather than importing, so it
+sees exactly what a reader sees and cannot be fooled by runtime
+attribute injection.
+
+Exemptions (mirroring common docstring-lint conventions):
+
+- names starting with ``_`` (private) and all dunders,
+- ``@overload`` stubs and bodies that are a bare ``...``/``pass``
+  (Protocol / abstract placeholders),
+- property *setters* (the getter documents the attribute).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+AUDITED_PACKAGES = ("sim", "obs")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_stub(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True for ellipsis/pass-only bodies (Protocol or abstract stubs)."""
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ) and isinstance(body[0].value.value, str):
+        body = body[1:]  # skip an existing docstring
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _exempt_function(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    if not _is_public(node.name) or node.name.startswith("__"):
+        return True
+    decorators = _decorator_names(node)
+    if "overload" in decorators or "setter" in decorators:
+        return True
+    return _is_stub(node)
+
+
+def _missing_in_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    rel = path.relative_to(SRC.parent)
+    missing: list[str] = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{rel}:1 module")
+
+    def visit(scope: ast.AST, prefix: str) -> None:
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, ast.ClassDef):
+                if _is_public(node.name):
+                    if ast.get_docstring(node) is None:
+                        missing.append(
+                            f"{rel}:{node.lineno} class {prefix}{node.name}"
+                        )
+                    visit(node, f"{prefix}{node.name}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _exempt_function(node):
+                    if ast.get_docstring(node) is None:
+                        missing.append(
+                            f"{rel}:{node.lineno} def {prefix}{node.name}"
+                        )
+
+    visit(tree, "")
+    return missing
+
+
+def test_public_api_has_docstrings():
+    """No public name in repro.sim / repro.obs may lack a docstring."""
+    missing: list[str] = []
+    for package in AUDITED_PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            missing.extend(_missing_in_file(path))
+    assert not missing, (
+        "public names missing docstrings:\n  " + "\n  ".join(missing)
+    )

@@ -1,0 +1,138 @@
+"""Bench-harness smoke tests plus the opt-in full regression check.
+
+Everything in ``TestQuickBench`` runs in tier-1 (``--quick`` reps keep
+it to a few seconds).  ``test_full_bench_no_regression`` is marked
+``bench`` and therefore deselected by default (``addopts`` carries
+``-m 'not bench'``); run it explicitly with ``pytest -m bench``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    run_suite,
+    validate_bench_doc,
+    write_bench_files,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPTS = REPO_ROOT / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+from check_bench_regression import (  # noqa: E402
+    Comparison,
+    compare_docs,
+    load_baseline_from_git,
+)
+
+
+class TestQuickBench:
+    def test_write_bench_files_schema_valid(self, tmp_path):
+        """``python -m repro bench --quick`` must produce valid BENCH files."""
+        paths = write_bench_files(out_dir=tmp_path, seed=0, quick=True)
+        assert [p.name for p in paths] == ["BENCH_sim.json", "BENCH_nn.json"]
+        for path in paths:
+            doc = json.loads(path.read_text())
+            assert validate_bench_doc(doc) == []
+            assert doc["schema"] == BENCH_SCHEMA
+            assert doc["quick"] is True
+            assert doc["manifest"]["kind"] == "bench"
+
+    def test_sim_suite_contents(self, tmp_path):
+        (path,) = write_bench_files(out_dir=tmp_path, seed=0, quick=True,
+                                    only="sim")
+        doc = json.loads(path.read_text())
+        names = [e["name"] for e in doc["benchmarks"]]
+        assert names == [
+            "engine-throughput",
+            "engine-throughput-traced",
+            "backfill-plan",
+            "conservative-profile",
+        ]
+        for entry in doc["benchmarks"]:
+            assert entry["events_per_s"] > 0
+            assert entry["seed"] == 0
+
+    def test_nn_suite_contents(self):
+        doc = run_suite("nn", seed=0, quick=True)
+        names = [e["name"] for e in doc["benchmarks"]]
+        assert names == ["nn-forward", "nn-train-step"]
+        assert all(e["steps_per_s"] > 0 for e in doc["benchmarks"])
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite("gpu")
+
+    def test_cli_bench_quick(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "--quick",
+             "--only", "sim", "--out-dir", str(tmp_path)],
+            capture_output=True, text=True, timeout=300,
+            cwd=REPO_ROOT, env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                                "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads((tmp_path / "BENCH_sim.json").read_text())
+        assert validate_bench_doc(doc) == []
+
+
+class TestCompareLogic:
+    def _doc(self, rate, name="engine-throughput", key="events_per_s"):
+        return {
+            "schema": BENCH_SCHEMA,
+            "kind": "sim",
+            "quick": False,
+            "benchmarks": [{
+                "name": name, "reps": 3, "wall_s": 1.0, key: rate,
+                "seed": 0, "git_sha": "x", "extra": {},
+            }],
+            "manifest": {"kind": "bench"},
+        }
+
+    def test_within_tolerance_passes(self):
+        (comp,) = compare_docs(self._doc(100.0), self._doc(85.0))
+        assert not comp.regressed(0.20)
+        assert comp.ratio == pytest.approx(0.85)
+
+    def test_beyond_tolerance_fails(self):
+        (comp,) = compare_docs(self._doc(100.0), self._doc(79.0))
+        assert comp.regressed(0.20)
+
+    def test_speedup_never_fails(self):
+        (comp,) = compare_docs(self._doc(100.0), self._doc(500.0))
+        assert not comp.regressed(0.20)
+
+    def test_unmatched_names_skipped(self):
+        comparisons = compare_docs(
+            self._doc(100.0), self._doc(100.0, name="other"))
+        assert comparisons == []
+
+    def test_invalid_doc_rejected(self):
+        with pytest.raises(ValueError, match="invalid baseline"):
+            compare_docs({"schema": "nope"}, self._doc(1.0))
+
+    def test_comparison_ratio(self):
+        comp = Comparison("x", "events_per_s", baseline=200.0, current=100.0)
+        assert comp.ratio == 0.5 and comp.regressed(0.20)
+
+
+@pytest.mark.bench
+def test_full_bench_no_regression():
+    """Full-rep benchmarks must stay within 20% of the committed baseline.
+
+    Opt-in (``pytest -m bench``): takes minutes and is machine-dependent,
+    so it never runs in tier-1.
+    """
+    for kind in ("sim", "nn"):
+        baseline = load_baseline_from_git(f"BENCH_{kind}.json")
+        current = run_suite(kind, seed=0, quick=False)
+        comparisons = compare_docs(baseline, current)
+        assert comparisons, f"no overlapping {kind} benchmarks"
+        slow = [c for c in comparisons if c.regressed(0.20)]
+        assert not slow, "regressions: " + ", ".join(
+            f"{c.name} {c.ratio:.2f}x" for c in slow)

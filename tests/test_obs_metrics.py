@@ -1,0 +1,121 @@
+"""Metrics instruments and the registries exposed by engine/trainer/schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.schedulers.fcfs import FCFSEasy
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.workload.models import ThetaModel
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_tracks_extremes(self):
+        g = Gauge()
+        for v in (3.0, -1.0, 7.0):
+            g.set(v)
+        assert (g.value, g.min, g.max, g.samples) == (7.0, -1.0, 7.0, 3)
+
+    def test_timer_mean_and_ema(self):
+        t = Timer(ema_alpha=0.5)
+        t.observe(2.0)
+        assert t.ema == 2.0  # first sample seeds the EMA
+        t.observe(4.0)
+        assert t.ema == pytest.approx(3.0)
+        assert t.mean == pytest.approx(3.0)
+        assert t.last == 4.0 and t.count == 2
+
+    def test_timer_context_manager(self):
+        t = Timer()
+        with t.time():
+            pass
+        assert t.count == 1 and t.total >= 0.0
+
+    def test_timer_alpha_validated(self):
+        with pytest.raises(ValueError):
+            Timer(ema_alpha=0.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.gauge("x")
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.timer("t").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"]["value"] == 1.5 and snap["g"]["samples"] == 1
+        assert snap["t"]["count"] == 1 and snap["t"]["total_s"] == 0.25
+
+    def test_unsampled_gauge_has_null_extremes(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")
+        snap = reg.snapshot()
+        assert snap["g"]["min"] is None and snap["g"]["max"] is None
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+
+class TestWiredRegistries:
+    def _run(self, n_jobs=80, nodes=32):
+        model = ThetaModel.scaled(nodes)
+        jobs = model.generate(n_jobs, np.random.default_rng(0))
+        scheduler = FCFSEasy()
+        engine = Engine(Cluster(nodes), scheduler, jobs)
+        result = engine.run()
+        return engine, scheduler, result
+
+    def test_engine_metrics_populated(self):
+        engine, _, result = self._run()
+        snap = engine.metrics.snapshot()
+        assert snap["engine.events_submit"] == len(result.jobs)
+        assert snap["engine.events_finish"] == len(result.finished_jobs)
+        assert snap["engine.jobs_started"] == len(result.finished_jobs)
+        assert snap["engine.instances"] == result.num_instances
+        assert snap["engine.schedule_s"]["count"] == result.num_instances
+
+    def test_scheduler_metrics_populated_by_engine(self):
+        _, scheduler, result = self._run()
+        snap = scheduler.metrics.snapshot()
+        assert snap["instances"] == result.num_instances
+        assert snap["schedule_s"]["count"] == result.num_instances
+
+    def test_trainer_metrics(self):
+        from repro.core.config import DRASConfig
+        from repro.core.dras_pg import DRASPG
+        from repro.rl.trainer import Trainer
+        from tests.conftest import make_job
+
+        config = DRASConfig(num_nodes=16, window=4, hidden1=16, hidden2=8,
+                            seed=0, objective="capability", time_scale=1000.0)
+        agent = DRASPG(config)
+        jobs = [make_job(size=4, walltime=50.0, submit=float(i * 10))
+                for i in range(8)]
+        trainer = Trainer(agent, 16, validation_jobs=jobs[:4])
+        trainer.run_episode(jobs)
+        trainer.validate()
+        snap = trainer.metrics.snapshot()
+        assert snap["train.episodes"] == 1
+        assert snap["train.validations"] == 1
+        assert snap["train.episode_s"]["count"] == 1

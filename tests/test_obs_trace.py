@@ -1,0 +1,146 @@
+"""Tracer round-trip, span-tree reconstruction, and bit-identity."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    Tracer,
+    build_span_tree,
+    global_tracer,
+    read_trace,
+    set_global_tracer,
+)
+from repro.schedulers.fcfs import FCFSEasy
+from repro.sim.engine import run_simulation
+from repro.workload.models import ThetaModel
+
+
+def _jobs(n=120, nodes=32, seed=0):
+    model = ThetaModel.scaled(nodes)
+    return model.generate(n, np.random.default_rng(seed))
+
+
+class TestTracerEmission:
+    def test_meta_record_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path):
+            pass
+        records = read_trace(path)
+        assert records[0] == {"type": "meta", "schema": TRACE_SCHEMA}
+
+    def test_round_trip_span_tree(self, tmp_path):
+        """emit -> parse JSONL -> reconstruct the exact span tree."""
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tr:
+            outer = tr.begin("outer", t=1.0)
+            tr.event("boom", job=7)
+            with tr.span("inner", depth=2):
+                tr.counter("queue", 3)
+            tr.end(outer)
+            tr.event("orphan")  # outside any span: dropped by the builder
+
+        roots = build_span_tree(read_trace(path))
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "outer"
+        assert root.fields == {"t": 1.0}
+        assert root.wall_end is not None and root.duration >= 0.0
+        assert [e["name"] for e in root.events] == ["boom"]
+        assert root.events[0]["job"] == 7
+        assert [c.name for c in root.children] == ["inner"]
+        inner = root.children[0]
+        assert inner.pid == root.sid
+        assert inner.fields == {"depth": 2}
+        assert [c["value"] for c in inner.counters] == [3]
+        assert [s.name for s in root.walk()] == ["outer", "inner"]
+
+    def test_end_must_match_innermost(self):
+        tr = Tracer(io.StringIO())
+        a = tr.begin("a")
+        tr.begin("b")
+        with pytest.raises(ValueError, match="innermost"):
+            tr.end(a)
+
+    def test_file_like_sink_not_closed(self):
+        sink = io.StringIO()
+        with Tracer(sink, buffer_lines=1) as tr:
+            tr.event("x")
+        assert not sink.closed
+        lines = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [r["type"] for r in lines] == ["meta", "event"]
+
+    def test_buffering_flushes_on_threshold(self):
+        sink = io.StringIO()
+        tr = Tracer(sink, buffer_lines=4)
+        assert sink.getvalue() == ""  # meta still buffered
+        for _ in range(3):
+            tr.event("e")
+        assert len(sink.getvalue().splitlines()) == 4
+
+    def test_numpy_fields_serialized(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tr:
+            tr.event("e", size=np.int64(5), frac=np.float64(0.5))
+        record = read_trace(path)[1]
+        assert record["size"] == 5 and record["frac"] == 0.5
+
+    def test_invalid_jsonl_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(path)
+
+    def test_unclosed_span_has_zero_duration(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = Tracer(path)
+        tr.begin("crashed")
+        tr.close()
+        (root,) = build_span_tree(read_trace(path))
+        assert root.wall_end is None and root.duration == 0.0
+
+
+class TestGlobalTracer:
+    def test_set_and_restore(self):
+        sink = io.StringIO()
+        tr = Tracer(sink)
+        previous = set_global_tracer(tr)
+        try:
+            assert global_tracer() is tr
+        finally:
+            set_global_tracer(previous)
+        assert global_tracer() is previous
+
+
+class TestEngineTracing:
+    def test_traced_run_bit_identical(self, tmp_path):
+        """Tracing must not perturb the simulation in any way."""
+        jobs = _jobs()
+        plain = run_simulation(32, FCFSEasy(), [j.copy_fresh() for j in jobs])
+        traced = run_simulation(
+            32, FCFSEasy(), [j.copy_fresh() for j in jobs],
+            trace=tmp_path / "t.jsonl",
+        )
+        for a, b in zip(plain.jobs, traced.jobs):
+            assert (a.start_time, a.end_time, a.mode) == (
+                b.start_time, b.end_time, b.mode)
+        assert plain.makespan == traced.makespan
+        assert plain.num_instances == traced.num_instances
+
+    def test_engine_emits_instance_spans_and_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        result = run_simulation(32, FCFSEasy(), _jobs(), trace=path)
+        roots = build_span_tree(read_trace(path))
+        instances = [s for s in roots if s.name == "engine.instance"]
+        assert len(instances) == result.num_instances
+        events = [e for s in instances for e in s.events]
+        names = {e["name"] for e in events}
+        assert "engine.allocate" in names
+        assert "engine.release" in names
+        allocs = [e for e in events if e["name"] == "engine.allocate"]
+        assert len(allocs) == len(result.finished_jobs)
+        # every event carries the engine clock alongside the wall clock
+        assert all("t" in e and "wall" in e for e in events)

@@ -20,6 +20,28 @@ class TestConstruction:
         with pytest.raises(ValueError):
             ResourceProfile([0.0, 1.0], [1], 4)     # length mismatch
 
+    def test_free_counts_validated_against_num_nodes(self):
+        """A single segment claiming more free nodes than exist is rejected."""
+        with pytest.raises(ValueError, match=r"\[0, num_nodes\]"):
+            ResourceProfile([0.0], [9], 8)
+        with pytest.raises(ValueError, match=r"\[0, num_nodes\]"):
+            ResourceProfile([0.0, 10.0], [4, -1], 8)
+        # boundary values are fine
+        profile = ResourceProfile([0.0, 10.0], [0, 8], 8)
+        assert profile.free_at(10.0) == 8
+
+    def test_num_nodes_must_be_positive(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            ResourceProfile([0.0], [0], 0)
+        with pytest.raises(ValueError, match="num_nodes"):
+            ResourceProfile([0.0], [0], -4)
+
+    def test_breakpoints_must_be_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            ResourceProfile([0.0, float("inf")], [2, 4], 4)
+        with pytest.raises(ValueError, match="finite"):
+            ResourceProfile([float("nan")], [2], 4)
+
     def test_from_idle_cluster(self):
         profile = ResourceProfile.from_cluster(Cluster(8), now=5.0)
         times, free = profile.steps()
