@@ -1,34 +1,68 @@
-"""Correctness tooling for the reproduction: determinism lint + sanitizer.
+"""Correctness tooling for the reproduction: static analysis + sanitizer.
 
-Two halves, both in service of bit-reproducible simulation and
+Three layers, all in service of bit-reproducible simulation and
 numerically sane training:
 
-* :mod:`repro.check.lint` — an AST-based static linter with a pluggable
-  rule registry (:mod:`repro.check.rules`).  It flags the regressions
-  that historically break RL-scheduling reproducibility: global-RNG
-  usage, wall-clock reads, mutable default arguments, exact float
-  comparisons on simulation timestamps, and swallowed exceptions.
-  Run it with ``python -m repro check [paths...]``.
+* :mod:`repro.check.lint` — an AST-based per-file linter with a
+  pluggable rule registry (:mod:`repro.check.rules`).  It flags the
+  regressions that historically break RL-scheduling reproducibility:
+  global-RNG usage, wall-clock reads, mutable default arguments, exact
+  float comparisons on simulation timestamps, and swallowed exceptions.
+* :mod:`repro.check.project` — a whole-program model (import graph,
+  cross-module symbol resolution, class hierarchy) powering the
+  project-level rule families: units-of-measure checking
+  (:mod:`repro.check.units`, RPR2xx), static NN shape/parameter
+  verification (:mod:`repro.check.shapes`, RPR3xx) and API-contract
+  rules (:mod:`repro.check.contracts`, RPR4xx).  Run everything with
+  ``python -m repro check --strict [paths...]``.
 * :mod:`repro.check.sanitize` — runtime assertion hooks enabled via the
   ``REPRO_SANITIZE=1`` environment variable or ``Engine(sanitize=True)``,
   verifying node conservation, event-time monotonicity, metric
   non-negativity and NaN/Inf-free network math while a run executes.
+
+The sanitizer names are re-exported lazily (PEP 562): the static
+analysis layers are pure-stdlib and must stay importable in
+environments without NumPy, which :mod:`repro.check.sanitize` needs.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.check.lint import LintConfig, Violation, lint_paths, lint_source
+from repro.check.project import (
+    PROJECT_RULES,
+    ProjectRule,
+    analyze_project,
+    project_rules,
+    register_project,
+)
 from repro.check.rules import RULES, Rule, register
-from repro.check.sanitize import SanitizerError, sanitizer_enabled
 
 __all__ = [
     "LintConfig",
+    "PROJECT_RULES",
+    "ProjectRule",
     "RULES",
     "Rule",
     "SanitizerError",
     "Violation",
+    "analyze_project",
     "lint_paths",
     "lint_source",
+    "project_rules",
     "register",
+    "register_project",
     "sanitizer_enabled",
 ]
+
+_SANITIZE_NAMES = ("SanitizerError", "sanitizer_enabled")
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily re-export the NumPy-dependent sanitizer names (PEP 562)."""
+    if name in _SANITIZE_NAMES:
+        from repro.check import sanitize
+
+        return getattr(sanitize, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

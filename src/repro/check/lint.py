@@ -40,6 +40,7 @@ class Violation:
     message: str
 
     def format(self) -> str:
+        """The conventional ``path:line:col: ID [slug] message`` line."""
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} [{self.slug}] {self.message}"
 
 
@@ -66,6 +67,7 @@ class LintConfig:
     exclude: tuple[str, ...] = ("check/rules.py", "check/lint.py")
 
     def rules(self) -> list[Rule]:
+        """The registered rules this configuration selects, sorted."""
         chosen = []
         for slug, rule in sorted(RULES.items()):
             if self.select is not None and slug not in self.select \
@@ -81,6 +83,7 @@ class LintConfig:
         select: Iterable[str] | None = None,
         ignore: Iterable[str] | None = None,
     ) -> "LintConfig":
+        """A copy with ``select``/``ignore`` replaced when provided."""
         return replace(
             self,
             select=frozenset(select) if select else self.select,

@@ -137,6 +137,7 @@ class Rule:
     default_scopes: tuple[str, ...] | None = None
 
     def check(self, tree: ast.Module, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
         raise NotImplementedError
 
 
@@ -150,6 +151,7 @@ class FileContext:
         self.imports = Imports(tree)
 
     def path_matches(self, fragments: Iterable[str]) -> bool:
+        """True when this file's path contains any of ``fragments``."""
         for fragment in fragments:
             if self.path.endswith(fragment) or f"/{fragment}" in f"/{self.path}":
                 return True
@@ -183,6 +185,7 @@ class GlobalRngRule(Rule):
     default_scopes = ("sim/", "core/", "schedulers/", "workload/", "rl/", "nn/")
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Flag numpy global-RNG calls on the legacy interface."""
         imp = ctx.imports
         for node in ast.walk(tree):
             if isinstance(node, ast.Attribute):
@@ -224,6 +227,7 @@ class UnseededRngRule(Rule):
     default_scopes = None
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Flag default_rng()/seed-less RNG construction."""
         imp = ctx.imports
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call) or node.args or node.keywords:
@@ -255,6 +259,7 @@ class WallClockRule(Rule):
     default_scopes = None
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Flag wall-clock reads inside simulation/NN code."""
         imp = ctx.imports
         for node in ast.walk(tree):
             if isinstance(node, ast.Attribute):
@@ -305,6 +310,7 @@ class MutableDefaultRule(Rule):
     default_scopes = None
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Flag mutable default argument values."""
         for node in ast.walk(tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 continue
@@ -362,6 +368,7 @@ class FloatTimeEqRule(Rule):
         return False
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Flag exact float equality on time-like operands."""
         for node in ast.walk(tree):
             if not isinstance(node, ast.Compare):
                 continue
@@ -396,6 +403,7 @@ class BareExceptRule(Rule):
     default_scopes = None
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        """Flag bare/overbroad except handlers that swallow errors."""
         for node in ast.walk(tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue

@@ -100,6 +100,7 @@ def check_node_conservation(cluster: "Cluster", context: str = "") -> None:
 
 
 def check_monotonic_time(previous: float, now: float) -> None:
+    """Fail if the simulation clock moved backwards."""
     if now < previous:
         _fail(
             "time-monotonic",
@@ -108,6 +109,7 @@ def check_monotonic_time(previous: float, now: float) -> None:
 
 
 def check_job_start(job, now: float, already_running: Iterable[int]) -> None:
+    """Fail on double-starts and starts before submission."""
     if job.job_id in set(already_running):
         _fail(
             "double-start",
@@ -122,6 +124,7 @@ def check_job_start(job, now: float, already_running: Iterable[int]) -> None:
 
 
 def check_reservation(job, reservation, now: float, running: Iterable[int]) -> None:
+    """Fail on reservations that violate backfill invariants."""
     if job.job_id in set(running):
         _fail(
             "reservation",
@@ -180,5 +183,6 @@ def check_finite(name: str, array: np.ndarray) -> None:
 
 
 def check_same_shape(name: str, before: tuple[int, ...], after: tuple[int, ...]) -> None:
+    """Fail if a parameter changed shape during an update."""
     if before != after:
         _fail("shape", f"{name} changed shape {before} -> {after} during update")

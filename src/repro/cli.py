@@ -28,6 +28,7 @@ workload parameters, summary metrics) alongside their output.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -281,16 +282,36 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    from repro.check import RULES, LintConfig, lint_paths
+    """The ``repro check`` driver.
+
+    Exit codes: 0 — clean (or every finding is baselined); 1 — findings;
+    2 — usage/configuration error (unknown rule, missing path, bad
+    baseline file).
+    """
+    from repro.check import RULES, LintConfig, analyze_project, lint_paths
+    from repro.check import report as _report
+    from repro.check.project import PROJECT_RULES, project_rules
+
+    project_rules()  # populate PROJECT_RULES for --list-rules / validation
 
     if args.list_rules:
-        for slug, rule in sorted(RULES.items(), key=lambda kv: kv[1].id):
-            scopes = ", ".join(rule.default_scopes) if rule.default_scopes else "all files"
-            print(f"{rule.id} [{slug}] ({scopes})")
-            print(f"    {rule.rationale}")
+        catalogue = [
+            (r.id, slug,
+             ", ".join(r.default_scopes) if r.default_scopes else "all files",
+             r.rationale)
+            for slug, r in RULES.items()
+        ]
+        if args.strict:
+            catalogue += [(r.id, slug, "whole program", r.rationale)
+                          for slug, r in PROJECT_RULES.items()]
+        for rule_id, slug, scopes, rationale in sorted(catalogue):
+            print(f"{rule_id} [{slug}] ({scopes})")
+            print(f"    {rationale}")
         return 0
 
     known = {slug for slug in RULES} | {r.id for r in RULES.values()}
+    known |= {slug for slug in PROJECT_RULES}
+    known |= {r.id for r in PROJECT_RULES.values()}
     unknown = [r for r in (args.select or []) + (args.ignore or []) if r not in known]
     if unknown:
         print(f"unknown rule(s): {', '.join(unknown)}; see --list-rules",
@@ -300,17 +321,49 @@ def cmd_check(args: argparse.Namespace) -> int:
     config = LintConfig().with_overrides(select=args.select, ignore=args.ignore)
     try:
         violations = lint_paths(args.paths, config)
+        if args.strict:
+            for path in args.paths:
+                root = Path(path)
+                if root.is_file():
+                    root = root.parent
+                violations.extend(analyze_project(root, config))
+            violations.sort(key=lambda v: (str(v.path), v.line, v.col, v.rule_id))
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+    if args.baseline:
+        try:
+            baseline = _report.load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        violations, _stale = _report.diff_baseline(violations, baseline)
+
+    if args.sarif:
+        rules = [(r.id, slug, r.rationale) for slug, r in RULES.items()]
+        rules += [(r.id, slug, r.rationale) for slug, r in PROJECT_RULES.items()]
+        Path(args.sarif).write_text(
+            json.dumps(_report.to_sarif(violations, rules), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        if not args.quiet:
+            print(f"wrote SARIF log to {args.sarif}", file=sys.stderr)
+
+    if args.json:
+        sys.stdout.write(_report.to_json(violations, args.paths, args.strict))
+        return 1 if violations else 0
+
     for violation in violations:
         print(violation.format())
     if violations:
-        print(f"\n{len(violations)} violation(s) found", file=sys.stderr)
+        suffix = " (beyond the baseline)" if args.baseline else ""
+        print(f"\n{len(violations)} violation(s) found{suffix}", file=sys.stderr)
         return 1
     if not args.quiet:
         checked = ", ".join(str(p) for p in args.paths)
-        print(f"no determinism/correctness violations in {checked}")
+        mode = "strict whole-program" if args.strict else "determinism/correctness"
+        print(f"no {mode} violations in {checked}")
     return 0
 
 
@@ -413,6 +466,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only these rules (slug or id; repeatable)")
     p.add_argument("--ignore", action="append", metavar="RULE",
                    help="skip these rules (slug or id; repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="also run the whole-program rules (RPR2xx units, "
+                        "RPR3xx NN shapes/params, RPR4xx API contracts)")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as a JSON document on stdout")
+    p.add_argument("--sarif", metavar="PATH",
+                   help="also write a SARIF 2.1.0 log to PATH")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="suppress findings recorded in this baseline file; "
+                        "only new findings fail (see scripts/check_ratchet.py)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
     p.add_argument("-q", "--quiet", action="store_true",

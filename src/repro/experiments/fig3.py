@@ -15,9 +15,8 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.experiments.common import system_setup
 from repro.sim.job import Job
-
-_HOUR = 3600.0
-_DAY = 24 * _HOUR
+from repro.workload.units import SECONDS_PER_DAY as _DAY
+from repro.workload.units import SECONDS_PER_HOUR as _HOUR
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ reference) trace, and fully *synthetic* jobsets.
 """
 
 from repro.workload.swf import read_swf, write_swf
+from repro.workload.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.workload.generator import (
     CategoricalSizes,
     DiurnalArrivals,
@@ -38,6 +39,8 @@ __all__ = [
     "CategoricalSizes",
     "CoriModel",
     "DiurnalArrivals",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
     "LognormalRuntimes",
     "PoissonArrivals",
     "ThetaModel",

@@ -19,8 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-SECONDS_PER_HOUR = 3600.0
-SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+from repro.workload.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 
 @dataclass(frozen=True)
@@ -78,11 +77,13 @@ class DiurnalArrivals:
         )
 
     def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (jobs/second) at absolute time ``t``."""
         hour = int((t % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
         day = int((t // SECONDS_PER_DAY) % 7)
         return self.base_rate * self.hourly[hour] * self.daily[day]
 
     def sample(self, n: int, rng: np.random.Generator, start: float = 0.0) -> np.ndarray:
+        """Sample ``n`` arrival times via thinning, from ``start`` onward."""
         peak = self.base_rate * max(self.hourly) * max(self.daily)
         times = np.empty(n)
         t = start
@@ -125,13 +126,16 @@ class CategoricalSizes:
 
     @classmethod
     def from_dict(cls, mix: dict[int, float]) -> "CategoricalSizes":
+        """Build from a ``{size: probability}`` mapping (normalized)."""
         items = sorted(mix.items())
         return cls(tuple(s for s, _ in items), tuple(p for _, p in items))
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` job sizes from the categorical mix."""
         return rng.choice(np.array(self.sizes), size=n, p=np.array(self.probs))
 
     def mean(self) -> float:
+        """Expected job size under the mix."""
         return float(np.dot(self.sizes, self.probs))
 
 

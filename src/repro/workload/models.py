@@ -34,6 +34,7 @@ from repro.workload.generator import (
     DiurnalArrivals,
     LognormalRuntimes,
 )
+from repro.workload.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 
 @dataclass(frozen=True)
@@ -180,7 +181,7 @@ class ThetaModel:
     """Factory for Theta-like capability workloads."""
 
     PAPER_NODES = 4360
-    MAX_RUNTIME = 24 * 3600.0  # max job length: 1 day
+    MAX_RUNTIME = SECONDS_PER_DAY  # max job length: 1 day
 
     @classmethod
     def paper(cls, utilization: float = 1.10) -> WorkloadModel:
@@ -196,7 +197,7 @@ class ThetaModel:
         """
         sizes = CategoricalSizes.from_dict(_theta_size_mix(num_nodes))
         runtimes = LognormalRuntimes(
-            median=3600.0,            # 1 h median runtime
+            median=SECONDS_PER_HOUR,  # 1 h median runtime
             sigma=1.1,
             max_runtime=cls.MAX_RUNTIME,
             min_runtime=300.0,
@@ -225,7 +226,7 @@ class CoriModel:
     """Factory for Cori-like capacity workloads."""
 
     PAPER_NODES = 12076
-    MAX_RUNTIME = 7 * 24 * 3600.0  # max job length: 7 days
+    MAX_RUNTIME = 7 * SECONDS_PER_DAY  # max job length: 7 days
 
     @classmethod
     def paper(cls, utilization: float = 1.10) -> WorkloadModel:
@@ -234,6 +235,7 @@ class CoriModel:
 
     @classmethod
     def scaled(cls, num_nodes: int, utilization: float = 1.10) -> WorkloadModel:
+        """A Cori-like system shrunk to ``num_nodes`` (see ThetaModel.scaled)."""
         sizes = CategoricalSizes.from_dict(_cori_size_mix(num_nodes))
         runtimes = LognormalRuntimes(
             median=2400.0,            # 40 min median runtime

@@ -21,9 +21,8 @@ from repro.workload.generator import (
     LognormalRuntimes,
 )
 from repro.workload.models import WorkloadModel
-
-_HOUR = 3600.0
-_DAY = 24 * _HOUR
+from repro.workload.units import SECONDS_PER_DAY as _DAY
+from repro.workload.units import SECONDS_PER_HOUR as _HOUR
 
 
 @dataclass(frozen=True)

@@ -112,6 +112,99 @@ class TestFit:
         assert rc == 1
 
 
+class TestCheck:
+    """Exit-code contract of ``repro check``: 0 clean, 1 findings, 2 usage."""
+
+    def _clean_file(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text('"""Clean."""\nX = 1\n')
+        return path
+
+    def _dirty_file(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text('"""Dirty."""\n\n\ndef f(items=[]):\n    return items\n')
+        return path
+
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        rc = main(["check", str(self._clean_file(tmp_path))])
+        assert rc == 0
+        assert "no determinism/correctness violations" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        rc = main(["check", str(self._dirty_file(tmp_path))])
+        assert rc == 1
+        assert "RPR104" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        rc = main(["check", "--select", "nosuchrule", str(self._clean_file(tmp_path))])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        rc = main(["check", "/definitely/not/a/path"])
+        assert rc == 2
+
+    def test_bad_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        rc = main(["check", "--baseline", str(bad), str(self._clean_file(tmp_path))])
+        assert rc == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_strict_finds_unit_bug(self, tmp_path, capsys):
+        pkg = tmp_path / "scratch"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""Scratch."""\n')
+        (pkg / "bug.py").write_text(
+            '"""Bug."""\n\n\ndef f(a_seconds, b_hours):\n'
+            '    """Mixes units."""\n    return a_seconds + b_hours\n'
+        )
+        rc = main(["check", "--strict", str(pkg)])
+        assert rc == 1
+        assert "RPR201" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json as _json
+
+        rc = main(["check", "--json", str(self._dirty_file(tmp_path))])
+        assert rc == 1
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "RPR104"
+
+    def test_sarif_output(self, tmp_path, capsys):
+        import json as _json
+
+        sarif = tmp_path / "out.sarif"
+        rc = main(["check", "--sarif", str(sarif), "-q",
+                   str(self._dirty_file(tmp_path))])
+        assert rc == 1
+        log = _json.loads(sarif.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "RPR104"
+
+    def test_baseline_suppresses_known_findings(self, tmp_path, capsys):
+        from repro.check import lint_paths
+        from repro.check.report import save_baseline
+
+        dirty = self._dirty_file(tmp_path)
+        baseline = tmp_path / "base.json"
+        save_baseline(baseline, lint_paths([dirty]))
+        rc = main(["check", "--baseline", str(baseline), str(dirty)])
+        assert rc == 0
+
+    def test_list_rules_includes_project_rules_in_strict(self, capsys):
+        rc = main(["check", "--list-rules"])
+        assert rc == 0
+        plain = capsys.readouterr().out
+        assert "RPR101" in plain and "RPR201" not in plain
+        rc = main(["check", "--strict", "--list-rules"])
+        assert rc == 0
+        strict = capsys.readouterr().out
+        for rule_id in ("RPR201", "RPR301", "RPR401", "RPR404"):
+            assert rule_id in strict
+
+
 class TestReproduce:
     def test_reproduce_table1(self, capsys):
         rc = main(["reproduce", "table1"])

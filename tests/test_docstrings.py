@@ -1,7 +1,7 @@
-"""Docstring audit for the public API of ``repro.sim`` and ``repro.obs``.
+"""Docstring audit for ``repro.sim``/``repro.obs``/``repro.check``/``repro.workload``.
 
-Every public module, class, function, and method in the simulator and
-the observability layer must carry a docstring.  This is a lint-adjacent
+Every public module, class, function, and method in the audited
+packages must carry a docstring.  This is a lint-adjacent
 test: it walks the source with :mod:`ast` rather than importing, so it
 sees exactly what a reader sees and cannot be fooled by runtime
 attribute injection.
@@ -20,7 +20,7 @@ import ast
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-AUDITED_PACKAGES = ("sim", "obs")
+AUDITED_PACKAGES = ("sim", "obs", "check", "workload")
 
 
 def _is_public(name: str) -> bool:
@@ -93,7 +93,7 @@ def _missing_in_file(path: Path) -> list[str]:
 
 
 def test_public_api_has_docstrings():
-    """No public name in repro.sim / repro.obs may lack a docstring."""
+    """No public name in an audited package may lack a docstring."""
     missing: list[str] = []
     for package in AUDITED_PACKAGES:
         for path in sorted((SRC / package).rglob("*.py")):

@@ -1,0 +1,105 @@
+"""Per-layer gradient checks for every layer type in ``repro.nn.layers``.
+
+``check_gradients`` is exercised elsewhere on full DRAS stacks; these
+tests isolate each layer (Conv1x2, Dense with and without bias,
+LeakyReLU) so a broken backward pass is attributed to the exact layer,
+and additionally verify *input* gradients via ``numeric_gradient``,
+which the parameter-only checker does not cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_gradients, numeric_gradient
+from repro.nn.layers import Conv1x2, Dense, LeakyReLU
+from repro.nn.network import Network, build_dras_network
+
+
+def quadratic_loss(y: np.ndarray) -> tuple[float, np.ndarray]:
+    """``0.5 * sum(y^2)`` and its gradient — a generic smooth probe."""
+    return 0.5 * float(np.sum(y * y)), y
+
+
+def away_from_kink(x: np.ndarray, margin: float = 0.05) -> np.ndarray:
+    """Push values away from 0 so LeakyReLU's kink can't bias the check."""
+    return np.where(np.abs(x) < margin, x + 2 * margin, x)
+
+
+class TestParameterGradients:
+    def test_conv1x2_alone(self):
+        rng = np.random.default_rng(7)
+        net = Network([Conv1x2(rng=rng)])
+        x = rng.normal(size=(4, 6, 2))
+        worst = check_gradients(net, x, quadratic_loss, rng=rng)
+        assert worst < 1e-3
+
+    def test_dense_no_bias(self):
+        rng = np.random.default_rng(8)
+        net = Network([Dense(5, 3, bias=False, rng=rng, name="fc")])
+        x = rng.normal(size=(4, 5))
+        worst = check_gradients(net, x, quadratic_loss, rng=rng)
+        assert worst < 1e-3
+
+    def test_dense_with_bias(self):
+        """The output layer shape: bias=True (Table III's `+ out` term)."""
+        rng = np.random.default_rng(9)
+        net = Network([Dense(4, 2, bias=True, rng=rng, name="out")])
+        x = rng.normal(size=(3, 4))
+        worst = check_gradients(net, x, quadratic_loss, rng=rng)
+        assert worst < 1e-3
+
+    def test_leaky_relu_has_no_parameters(self):
+        net = Network([LeakyReLU(0.01)])
+        assert net.parameters() == []
+
+    def test_full_dras_stack(self):
+        rng = np.random.default_rng(10)
+        net = build_dras_network(rows=6, hidden1=5, hidden2=4, outputs=2,
+                                 rng=rng)
+        x = rng.normal(size=(2, 6, 2))
+        worst = check_gradients(net, x, quadratic_loss, rng=rng)
+        assert worst < 1e-3
+
+
+class TestInputGradients:
+    @pytest.mark.parametrize("alpha", [0.01, 0.2])
+    def test_leaky_relu_input_gradient(self, alpha):
+        rng = np.random.default_rng(11)
+        net = Network([LeakyReLU(alpha)])
+        x = away_from_kink(rng.normal(size=(3, 5)))
+
+        def loss() -> float:
+            return quadratic_loss(net.forward(x))[0]
+
+        y = net.forward(x)
+        analytic = net.backward(quadratic_loss(y)[1])
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_conv1x2_input_gradient(self):
+        rng = np.random.default_rng(12)
+        net = Network([Conv1x2(rng=rng)])
+        x = rng.normal(size=(2, 4, 2))
+
+        def loss() -> float:
+            return quadratic_loss(net.forward(x))[0]
+
+        y = net.forward(x)
+        analytic = net.backward(quadratic_loss(y)[1])
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_dense_input_gradient(self):
+        rng = np.random.default_rng(13)
+        net = Network([Dense(5, 3, bias=True, rng=rng, name="fc")])
+        x = rng.normal(size=(2, 5))
+
+        def loss() -> float:
+            return quadratic_loss(net.forward(x))[0]
+
+        y = net.forward(x)
+        analytic = net.backward(quadratic_loss(y)[1])
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)

@@ -9,7 +9,7 @@ with ``# repro: noqa[rule]`` plus a justification comment.
 
 from pathlib import Path
 
-from repro.check import lint_paths
+from repro.check import analyze_project, lint_paths
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
@@ -22,3 +22,10 @@ def test_source_tree_lints_clean():
     violations = lint_paths([SRC])
     report = "\n".join(v.format() for v in violations)
     assert not violations, f"determinism lint violations:\n{report}"
+
+
+def test_source_tree_is_strict_clean():
+    """The whole-program rules (RPR2xx/3xx/4xx) must also report zero."""
+    violations = analyze_project(SRC)
+    report = "\n".join(v.format() for v in violations)
+    assert not violations, f"whole-program analysis violations:\n{report}"
