@@ -5,7 +5,7 @@ Usage::
 
     python scripts/check_bench_regression.py \
         --current BENCH_sim.json [--baseline path | --git-ref HEAD] \
-        [--tolerance 0.20]
+        [--tolerance 0.20] [--github]
 
 The baseline defaults to the committed copy of the same file name at
 ``--git-ref`` (default ``HEAD``), fetched via ``git show``.  A benchmark
@@ -16,12 +16,20 @@ Speedups and new benchmarks are reported but never fail the check.
 Exit status: 0 when no benchmark regresses, 1 otherwise.  The compare
 logic lives in :func:`compare_docs` so tests (``pytest -m bench``) can
 reuse it; see ``docs/benchmarks.md``.
+
+With ``--github`` (implied when the ``GITHUB_ACTIONS`` environment
+variable is set) the script additionally emits GitHub Actions workflow
+commands: ``::error`` for each regression and ``::warning`` for
+benchmarks inside the warning band (within 5 percentage points of the
+tolerance) or missing a baseline, so results surface as PR annotations
+without parsing the log.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from dataclasses import dataclass
@@ -34,6 +42,19 @@ from repro.obs.bench import validate_bench_doc  # noqa: E402
 
 #: default relative tolerance before a slowdown counts as a regression
 DEFAULT_TOLERANCE = 0.20
+
+#: extra slack past the tolerance that still earns a near-threshold warning
+WARNING_BAND = 0.05
+
+
+def _annotation(level: str, message: str) -> str:
+    """One GitHub Actions workflow command (``::error``/``::warning``).
+
+    Newlines would terminate the command early, so they are escaped the
+    way the runner expects (%0A).
+    """
+    escaped = message.replace("%", "%25").replace("\n", "%0A")
+    return f"::{level} title=bench regression check::{escaped}"
 
 
 @dataclass(frozen=True)
@@ -111,7 +132,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="ref for the committed baseline (default: HEAD)")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed relative slowdown (default: 0.20)")
+    parser.add_argument("--github", action="store_true",
+                        help="emit GitHub Actions ::error/::warning "
+                             "annotations (implied under GITHUB_ACTIONS)")
     args = parser.parse_args(argv)
+    github = args.github or bool(os.environ.get("GITHUB_ACTIONS"))
 
     current_path = Path(args.current)
     current = json.loads(current_path.read_text(encoding="utf-8"))
@@ -131,6 +156,21 @@ def main(argv: list[str] | None = None) -> int:
         if comp.regressed(args.tolerance):
             status = "REGRESSION"
             failed = True
+            if github:
+                print(_annotation(
+                    "error",
+                    f"{comp.name} regressed: {comp.baseline:,.0f} -> "
+                    f"{comp.current:,.0f} {comp.rate_key} "
+                    f"({comp.ratio:.2f}x, tolerance {args.tolerance:.0%})",
+                ))
+        elif comp.regressed(args.tolerance - WARNING_BAND):
+            status = "near threshold"
+            if github:
+                print(_annotation(
+                    "warning",
+                    f"{comp.name} is within {WARNING_BAND:.0%} of the "
+                    f"regression threshold ({comp.ratio:.2f}x of baseline)",
+                ))
         elif comp.ratio > 1.0 + args.tolerance:
             status = "faster"
         print(
@@ -140,6 +180,9 @@ def main(argv: list[str] | None = None) -> int:
     new = set(_rates(current)) - {c.name for c in comparisons}
     for name in sorted(new):
         print(f"{name:32s} (new benchmark, no baseline)")
+        if github:
+            print(_annotation(
+                "warning", f"{name}: new benchmark with no baseline"))
     return 1 if failed else 0
 
 

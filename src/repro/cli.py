@@ -19,10 +19,19 @@ Commands
 ``bench``
     Run the perf-benchmark harness (:mod:`repro.obs.bench`) and write
     ``BENCH_sim.json`` / ``BENCH_nn.json`` regression baselines.
+``report``
+    Stitch run artifacts (manifest, telemetry, trace, bench, profile)
+    into one self-contained HTML report (:mod:`repro.obs.report`).
+``trace``
+    Trace-file utilities; ``trace summarize <path>`` prints span
+    rollups, decision-latency percentiles and event counts
+    (:mod:`repro.obs.analyze`).
 
 ``reproduce``, ``simulate`` and ``train`` accept ``--manifest PATH`` to
 write a :class:`~repro.obs.manifest.RunManifest` (seed, git SHA, config,
-workload parameters, summary metrics) alongside their output.
+workload parameters, summary metrics) alongside their output, and
+``--report PATH`` to emit the HTML report directly; ``train`` also
+accepts ``--telemetry PATH`` for per-episode JSONL training records.
 """
 
 from __future__ import annotations
@@ -70,6 +79,40 @@ def make_policy(name: str, objective: str = "capability", seed: int = 0):
         ) from None
 
 
+# -- report assembly helper ----------------------------------------------------
+
+def _emit_report(
+    out: str,
+    title: str,
+    manifest_path: str | None = None,
+    metrics: dict | None = None,
+    telemetry_path: str | None = None,
+    trace_path: str | None = None,
+    bench_paths: tuple = (),
+    profile_path: str | None = None,
+) -> None:
+    """Load whatever artifacts exist and write the HTML report."""
+    from repro.obs.analyze import summarize_trace
+    from repro.obs.report import write_report
+    from repro.rl.telemetry import episode_records, read_telemetry
+
+    def load(path):
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+
+    path = write_report(
+        out,
+        title=title,
+        manifest=load(manifest_path) if manifest_path else None,
+        metrics=metrics,
+        telemetry=(episode_records(read_telemetry(telemetry_path))
+                   if telemetry_path else None),
+        trace=summarize_trace(trace_path) if trace_path else None,
+        bench=[load(p) for p in bench_paths] or None,
+        profile=load(profile_path) if profile_path else None,
+    )
+    print(f"wrote report to {path}")
+
+
 # -- subcommand implementations ------------------------------------------------
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -89,6 +132,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         if args.out:
             Path(args.out).write_text(text + "\n")
         print(text)
+        if args.report:
+            _emit_report(args.report, "reproduce all",
+                         manifest_path=args.manifest)
         return 0
 
     module = importlib.import_module(f"repro.experiments.{args.experiment}")
@@ -113,6 +159,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             summary={"report_chars": len(text)},
         ).write(args.manifest)
     print(text)
+    if args.report:
+        _emit_report(args.report, f"reproduce {args.experiment}",
+                     manifest_path=args.manifest)
     return 0
 
 
@@ -174,6 +223,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             },
             summary=RunMetrics.from_result(result).as_dict(),
         ).write(args.manifest)
+    if args.report:
+        from repro.sim.metrics import RunMetrics
+
+        _emit_report(
+            args.report, f"simulate {args.policy}",
+            manifest_path=args.manifest,
+            metrics=RunMetrics.from_result(result).as_dict(),
+            trace_path=args.trace_out,
+        )
     return 0
 
 
@@ -195,11 +253,33 @@ def cmd_train(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     base = model.generate(args.train_jobs, rng)
     validation = model.generate(max(50, args.train_jobs // 5), rng)
-    history = train_with_curriculum(
-        agent, model, base, validation, rng,
-        n_sampled=args.sampled, n_real=args.real, n_synthetic=args.synthetic,
-        jobs_per_set=args.jobs_per_set,
-    )
+    # --report without an explicit --telemetry still records telemetry,
+    # into a sidecar next to the checkpoint
+    telemetry_path = args.telemetry
+    if telemetry_path is None and args.report:
+        telemetry_path = args.out + ".telemetry.jsonl"
+    telemetry = None
+    if telemetry_path is not None:
+        from repro.rl.telemetry import TelemetryWriter
+
+        telemetry = TelemetryWriter(
+            telemetry_path,
+            meta={"agent": args.agent, "system": args.system,
+                  "seed": args.seed},
+        )
+    try:
+        history = train_with_curriculum(
+            agent, model, base, validation, rng,
+            n_sampled=args.sampled, n_real=args.real,
+            n_synthetic=args.synthetic,
+            jobs_per_set=args.jobs_per_set,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            print(f"wrote {telemetry.n_written} telemetry records "
+                  f"to {telemetry_path}")
     save_agent(agent, args.out)
     curve = history.validation_curve
     print(f"trained {len(history.episodes)} episodes; validation reward "
@@ -236,6 +316,12 @@ def cmd_train(args: argparse.Namespace) -> int:
                 "converged_at": converged,
             },
         ).write(args.manifest)
+    if args.report:
+        _emit_report(
+            args.report, f"train {args.agent} ({args.system})",
+            manifest_path=args.manifest,
+            telemetry_path=telemetry_path,
+        )
     return 0
 
 
@@ -379,6 +465,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     for path in paths:
         print(f"wrote {path}")
+    if args.report:
+        _emit_report(
+            args.report, "bench baselines",
+            bench_paths=tuple(str(p) for p in paths),
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """The ``repro report`` driver: stitch artifacts into one HTML file."""
+    try:
+        _emit_report(
+            args.out,
+            title=args.title,
+            manifest_path=args.manifest,
+            telemetry_path=args.telemetry,
+            trace_path=args.trace,
+            bench_paths=tuple(args.bench or ()),
+            profile_path=args.profile,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot build report: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """The ``repro trace`` driver (currently: ``summarize``)."""
+    from repro.obs.analyze import format_trace_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.path)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(format_trace_summary(summary, top=args.top))
     return 0
 
 
@@ -401,6 +523,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="overhead experiment: use a scaled network")
     p.add_argument("--manifest", metavar="PATH",
                    help="write a run manifest (JSON provenance record)")
+    p.add_argument("--report", metavar="PATH",
+                   help="also write a self-contained HTML run report")
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("generate", help="synthesize an SWF trace")
@@ -426,6 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a run manifest (JSON provenance record)")
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a structured JSONL event trace of the run")
+    p.add_argument("--report", metavar="PATH",
+                   help="also write a self-contained HTML run report")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train and checkpoint a DRAS agent")
@@ -442,6 +568,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.add_argument("--manifest", metavar="PATH",
                    help="write a run manifest (JSON provenance record)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="write per-episode JSONL training telemetry "
+                        "(repro.telemetry/v1)")
+    p.add_argument("--report", metavar="PATH",
+                   help="also write a self-contained HTML run report "
+                        "(records telemetry to a sidecar if --telemetry "
+                        "is not given)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser(
@@ -493,7 +626,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for BENCH_*.json (default: current dir)")
     p.add_argument("--only", choices=("sim", "nn"), default=None,
                    help="run a single suite instead of both")
+    p.add_argument("--report", metavar="PATH",
+                   help="also write a self-contained HTML run report")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "report",
+        help="stitch run artifacts into one self-contained HTML report",
+    )
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="output HTML file")
+    p.add_argument("--title", default="repro run report")
+    p.add_argument("--manifest", metavar="PATH",
+                   help="run manifest JSON (repro.manifest/v1)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="training telemetry JSONL (repro.telemetry/v1)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="event trace JSONL (repro.trace/v1)")
+    p.add_argument("--bench", action="append", metavar="PATH",
+                   help="bench baseline JSON (repeatable)")
+    p.add_argument("--profile", metavar="PATH",
+                   help="profiler output JSON (repro.profile/v1)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("trace", help="trace-file utilities")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summarize",
+        help="print span rollups, latency percentiles and event counts",
+    )
+    ps.add_argument("path", help="event trace JSONL (repro.trace/v1)")
+    ps.add_argument("--top", type=int, default=10,
+                    help="rollup rows to print (default 10)")
+    ps.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("evaluate", help="replay a trace under a checkpointed agent")
     p.add_argument("checkpoint")

@@ -92,6 +92,12 @@ class PGCore:
     baseline: BaselineTracker = field(default_factory=BaselineTracker)
     pending: list[_Transition] = field(default_factory=list)
     losses: list[float] = field(default_factory=list)
+    #: when True, :attr:`last_entropy` is refreshed on every update
+    #: (telemetry support; off by default to keep updates lean)
+    collect_stats: bool = False
+    #: mean policy entropy (nats/decision) of the most recent update
+    #: batch; NaN until :attr:`collect_stats` sees an update
+    last_entropy: float = float("nan")
 
     def policy(self, window: list[Job], view: SchedulingView,
                extra_mask: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -158,6 +164,11 @@ class PGCore:
         self.network.backward(grad)
         self.optimizer.step()
         self.losses.append(loss)
+        if self.collect_stats:
+            probs = masked_softmax(logits, masks)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                log_p = np.where(probs > 0, np.log(probs), 0.0)
+            self.last_entropy = float(np.mean(-(probs * log_p).sum(axis=1)))
         return loss
 
 

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.check import sanitize as _san
 from repro.nn.layers import Conv1x2, Dense, Layer, LeakyReLU, Parameter
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 
 
@@ -27,6 +28,13 @@ class Network:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Run ``x`` through every layer; returns the final activation."""
+        prof = _profile.global_profiler()
+        if prof is not None:
+            with prof.scope("nn.forward"):
+                return self._instrumented_forward(x)
+        return self._instrumented_forward(x)
+
+    def _instrumented_forward(self, x: np.ndarray) -> np.ndarray:
         tracer = _trace.global_tracer()
         if tracer is None:
             return self._forward(x)
@@ -51,6 +59,13 @@ class Network:
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backpropagate ``grad_out``; returns the input gradient."""
+        prof = _profile.global_profiler()
+        if prof is not None:
+            with prof.scope("nn.backward"):
+                return self._instrumented_backward(grad_out)
+        return self._instrumented_backward(grad_out)
+
+    def _instrumented_backward(self, grad_out: np.ndarray) -> np.ndarray:
         tracer = _trace.global_tracer()
         if tracer is None:
             return self._backward(grad_out)

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.check import sanitize as _san
 from repro.nn.layers import Parameter
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 
 
@@ -69,12 +70,26 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.grad_clip = grad_clip
+        #: when True, :attr:`last_grad_norm` is refreshed on every step
+        #: (the global pre-clip gradient L2 norm); off by default so the
+        #: bench hot path pays nothing for telemetry it does not use
+        self.track_grad_norm = False
+        #: global L2 norm of the gradient at the most recent tracked
+        #: step (NaN until :attr:`track_grad_norm` sees a step)
+        self.last_grad_norm = float("nan")
         self._m = [np.zeros_like(p.value) for p in params]
         self._v = [np.zeros_like(p.value) for p in params]
         self._t = 0
 
     def step(self) -> None:
         """Apply one Adam update to every parameter (in place)."""
+        prof = _profile.global_profiler()
+        if prof is not None:
+            with prof.scope("nn.adam_step"):
+                return self._instrumented_step()
+        return self._instrumented_step()
+
+    def _instrumented_step(self) -> None:
         tracer = _trace.global_tracer()
         if tracer is None:
             return self._step()
@@ -85,6 +100,8 @@ class Adam(Optimizer):
     def _step(self) -> None:
         self._t += 1
         sanitize = _san.sanitizer_enabled()
+        track = self.track_grad_norm
+        sq_norm_sum = 0.0
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
@@ -92,9 +109,11 @@ class Adam(Optimizer):
             g = p.grad
             if sanitize:
                 _san.check_finite(f"gradient of {p.name} (Adam step {self._t})", g)
-            if self.grad_clip is not None:
+            if track or self.grad_clip is not None:
                 norm = float(np.linalg.norm(g))
-                if norm > self.grad_clip:
+                if track:
+                    sq_norm_sum += norm * norm
+                if self.grad_clip is not None and norm > self.grad_clip:
                     g = g * (self.grad_clip / norm)
             m *= b1
             m += (1 - b1) * g
@@ -107,3 +126,5 @@ class Adam(Optimizer):
             if sanitize:
                 _san.check_same_shape(p.name, shape_before, p.value.shape)
                 _san.check_finite(f"value of {p.name} (Adam step {self._t})", p.value)
+        if track:
+            self.last_grad_norm = float(np.sqrt(sq_norm_sum))

@@ -1,17 +1,22 @@
-"""Observability layer: structured tracing, metrics, and run manifests.
+"""Observability layer: tracing, metrics, profiling, analytics, reports.
 
-``repro.obs`` gives every long simulation and training run three kinds
-of visibility, all designed around the same contract as the PR 1
-sanitizer: **disabled-path cost is one boolean/None check**, and an
-instrumented run is bit-identical to an uninstrumented one (the layer
-only ever *observes* — it never touches simulation or RNG state).
+``repro.obs`` gives every long simulation and training run visibility,
+all designed around the same contract as the PR 1 sanitizer:
+**disabled-path cost is one boolean/None check**, and an instrumented
+run is bit-identical to an uninstrumented one (the layer only ever
+*observes* — it never touches simulation or RNG state).
 
 * :mod:`repro.obs.trace` — a near-zero-overhead structured event tracer
   writing JSONL spans/counters/events.  Activate globally with
   ``REPRO_TRACE=/path/to/trace.jsonl`` or per-engine with
   ``Engine(trace=...)``.  The engine emits scheduler-decision spans and
   allocate/release/backfill events; the NN stack emits
-  forward/backward/optimizer-step spans.
+  forward/backward/optimizer-step spans.  Traces survive crashes: the
+  buffered tail is flushed on engine exit and at interpreter exit.
+* :mod:`repro.obs.profile` — a deterministic hierarchical wall-time
+  profiler (call counts + cumulative/self seconds per scope path).
+  Activate globally with ``REPRO_PROFILE=/path/to/profile.json`` or
+  per-engine with ``Engine(profile=...)``.
 * :mod:`repro.obs.metrics` — lightweight always-on counters, gauges and
   wall-clock timers (with EMA smoothing) grouped in a
   :class:`~repro.obs.metrics.MetricsRegistry`, exposed from
@@ -21,6 +26,12 @@ only ever *observes* — it never touches simulation or RNG state).
   records what produced a result file: seed, git SHA, configuration,
   workload-model parameters and summary metrics.  Manifests with the
   same inputs are identical minus timestamps.
+* :mod:`repro.obs.analyze` — post-run trace analytics: span-time
+  rollups, scheduler decision-latency histograms, node-utilization
+  timeline reconstruction and manifest diffing.
+* :mod:`repro.obs.report` — a dependency-free self-contained HTML run
+  report (inline SVG charts) behind ``python -m repro report`` and the
+  ``--report`` flag of the run commands.
 * :mod:`repro.obs.bench` — the perf-benchmark harness behind
   ``python -m repro bench``, writing ``BENCH_sim.json`` /
   ``BENCH_nn.json`` regression baselines.
@@ -30,11 +41,32 @@ See ``docs/observability.md`` and ``docs/benchmarks.md`` for usage.
 
 from __future__ import annotations
 
+from repro.obs.analyze import (
+    Histogram,
+    ManifestDiff,
+    SpanRollup,
+    TraceSummary,
+    decision_latencies,
+    diff_manifests,
+    format_trace_summary,
+    latency_histogram,
+    mean_utilization,
+    rollup_spans,
+    summarize_trace,
+    utilization_timeline,
+)
 from repro.obs.manifest import RunManifest, describe_workload, git_sha
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.profile import (
+    Profiler,
+    global_profiler,
+    set_global_profiler,
+)
+from repro.obs.report import render_report, write_report
 from repro.obs.trace import (
     Span,
     Tracer,
+    TraceWarning,
     build_span_tree,
     global_tracer,
     read_trace,
@@ -44,15 +76,33 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
+    "ManifestDiff",
     "MetricsRegistry",
+    "Profiler",
     "RunManifest",
     "Span",
+    "SpanRollup",
     "Timer",
+    "TraceSummary",
+    "TraceWarning",
     "Tracer",
     "build_span_tree",
+    "decision_latencies",
     "describe_workload",
+    "diff_manifests",
+    "format_trace_summary",
     "git_sha",
+    "global_profiler",
     "global_tracer",
+    "latency_histogram",
+    "mean_utilization",
     "read_trace",
+    "render_report",
+    "rollup_spans",
+    "set_global_profiler",
     "set_global_tracer",
+    "summarize_trace",
+    "utilization_timeline",
+    "write_report",
 ]

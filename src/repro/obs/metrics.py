@@ -43,6 +43,10 @@ class Counter:
         """Add ``n`` (default 1) to the count."""
         self.value += n
 
+    def reset(self) -> None:
+        """Zero the count (fresh-run semantics; the name stays bound)."""
+        self.value = 0
+
 
 class Gauge:
     """A value that goes up and down, remembering its extremes."""
@@ -63,6 +67,13 @@ class Gauge:
         if value > self.max:
             self.max = value
         self.samples += 1
+
+    def reset(self) -> None:
+        """Forget every sample and the tracked extremes."""
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples = 0
 
 
 class Timer:
@@ -99,6 +110,13 @@ class Timer:
     def mean(self) -> float:
         """Arithmetic mean of all observed durations."""
         return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget every observation (``ema_alpha`` is kept)."""
+        self.count = 0
+        self.total = 0.0
+        self.last = 0.0
+        self.ema = 0.0
 
     def time(self) -> "_TimerContext":
         """Context manager observing the duration of a ``with`` block."""
@@ -205,3 +223,16 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Drop every instrument (names become unbound again)."""
         self._instruments.clear()
+
+    def reset_values(self) -> None:
+        """Zero every instrument in place (names stay bound).
+
+        Unlike :meth:`reset`, cached instrument references and aliased
+        bindings remain valid — the right call between training phases
+        or runs when hot paths hold direct instrument references.
+        Shared (aliased) instruments are reset once through whichever
+        registry resets first; the other registry sees the same zeroed
+        object.
+        """
+        for instrument in self._instruments.values():
+            instrument.reset()

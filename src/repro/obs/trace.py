@@ -37,9 +37,11 @@ Reading a trace back::
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, IO, Iterable
@@ -151,7 +153,14 @@ class Tracer:
 
     # -- lifecycle ----------------------------------------------------------
     def flush(self) -> None:
-        """Write buffered records through to the sink."""
+        """Write buffered records through to the sink.
+
+        Safe to call on a closed tracer (a no-op), so unconditional
+        flushes in ``finally`` blocks and at interpreter exit never
+        raise on an already-closed sink.
+        """
+        if self._closed:
+            return
         if self._buffer:
             self._fh.write("\n".join(self._buffer) + "\n")
             self._buffer.clear()
@@ -170,6 +179,11 @@ class Tracer:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        """Close (flushing buffered records) — also when the body raised.
+
+        Durability contract: a ``with Tracer(...)`` block never drops
+        the buffered tail, whatever exception unwinds through it.
+        """
         self.close()
 
 
@@ -196,6 +210,25 @@ class _SpanContext:
 
 _GLOBAL: Tracer | None = None
 _GLOBAL_LOADED = False
+_ATEXIT_REGISTERED = False
+
+
+def _flush_global_tracer() -> None:
+    """``atexit`` hook: persist whatever the global tracer buffered.
+
+    Flushes (rather than closes) so late ``atexit`` callbacks that still
+    emit records keep working; the interpreter closes the file handle.
+    """
+    if _GLOBAL is not None:
+        _GLOBAL.flush()
+
+
+def _register_atexit_flush() -> None:
+    """Install the global-tracer ``atexit`` flush exactly once."""
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        _ATEXIT_REGISTERED = True
+        atexit.register(_flush_global_tracer)
 
 
 def global_tracer() -> "Tracer | None":
@@ -206,6 +239,10 @@ def global_tracer() -> "Tracer | None":
     for every instrumented component in the process.  Subsequent calls
     return the cached result, so the disabled path costs one global
     lookup and a ``None`` check.
+
+    The first activated tracer also registers an ``atexit`` flush, so a
+    process that exits (or crashes out of) a traced run without calling
+    :meth:`Tracer.close` still leaves a parseable trace on disk.
     """
     global _GLOBAL, _GLOBAL_LOADED
     if not _GLOBAL_LOADED:
@@ -213,6 +250,7 @@ def global_tracer() -> "Tracer | None":
         path = os.environ.get("REPRO_TRACE", "").strip()
         if path:
             _GLOBAL = Tracer(path)
+            _register_atexit_flush()
     return _GLOBAL
 
 
@@ -228,6 +266,8 @@ def set_global_tracer(tracer: "Tracer | None") -> "Tracer | None":
     previous = _GLOBAL if _GLOBAL_LOADED else None
     _GLOBAL = tracer
     _GLOBAL_LOADED = True
+    if tracer is not None:
+        _register_atexit_flush()
     return previous
 
 
@@ -274,11 +314,22 @@ class Span:
             yield from child.walk()
 
 
+class TraceWarning(UserWarning):
+    """A trace record was skipped during lenient (post-mortem) parsing."""
+
+
 _META_KEYS = frozenset({"type", "name", "sid", "pid", "wall"})
 
 
-def read_trace(path: str | Path) -> list[dict[str, Any]]:
-    """Parse a JSONL trace file into a list of record dicts."""
+def read_trace(path: str | Path, strict: bool = True) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into a list of record dicts.
+
+    ``strict=True`` (the default) raises :class:`ValueError` on the
+    first malformed line.  ``strict=False`` is the post-mortem mode:
+    truncated or corrupt lines (a run killed mid-write) and non-object
+    records are skipped with a :class:`TraceWarning` naming the line,
+    so analysis still works on the surviving records.
+    """
     records = []
     with open(path, encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, start=1):
@@ -286,9 +337,30 @@ def read_trace(path: str | Path) -> list[dict[str, Any]]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_no}: invalid trace line") from exc
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_no}: invalid trace line"
+                    ) from exc
+                warnings.warn(
+                    f"{path}:{line_no}: skipping malformed trace line",
+                    TraceWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict):
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_no}: trace record is not an object"
+                    )
+                warnings.warn(
+                    f"{path}:{line_no}: skipping non-object trace record",
+                    TraceWarning,
+                    stacklevel=2,
+                )
+                continue
+            records.append(record)
     return records
 
 
@@ -298,16 +370,26 @@ def build_span_tree(records: Iterable[dict[str, Any]]) -> list[Span]:
     Returns the root spans (those with no parent).  Events and counters
     are attached to their enclosing span; records emitted outside any
     span are dropped (they have no tree position).
+
+    Post-mortem hardened: malformed records — a ``begin`` without a
+    span id, an ``end`` for an unknown span, records that are not
+    dicts — are skipped, so a tree can always be built from whatever a
+    crashed run managed to write.
     """
     spans: dict[int, Span] = {}
     roots: list[Span] = []
     for record in records:
+        if not isinstance(record, dict):
+            continue
         rtype = record.get("type")
         if rtype == "begin":
+            sid = record.get("sid")
+            if not isinstance(sid, int):
+                continue
             fields = {k: v for k, v in record.items() if k not in _META_KEYS}
             span = Span(
-                name=record["name"],
-                sid=record["sid"],
+                name=str(record.get("name", "<unnamed>")),
+                sid=sid,
                 pid=record.get("pid"),
                 fields=fields,
                 wall_begin=record.get("wall", 0.0),
@@ -319,7 +401,8 @@ def build_span_tree(records: Iterable[dict[str, Any]]) -> list[Span]:
             else:
                 roots.append(span)
         elif rtype == "end":
-            span = spans.get(record["sid"])
+            sid = record.get("sid")
+            span = spans.get(sid) if isinstance(sid, int) else None
             if span is not None:
                 span.wall_end = record.get("wall")
         elif rtype in ("event", "counter"):

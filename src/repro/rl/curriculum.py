@@ -33,12 +33,15 @@ def train_with_curriculum(
     n_synthetic: int = 82,
     jobs_per_set: int | None = None,
     order: tuple[str, ...] = ("sampled", "real", "synthetic"),
+    telemetry=None,
 ) -> TrainingHistory:
     """Train ``agent`` with the three-phase curriculum.
 
     Defaults mirror the Theta setup of §IV-D (9 sampled + 9 real + 82
     synthetic jobsets); experiments scale the counts down via the
-    keyword arguments.
+    keyword arguments.  ``telemetry`` (a
+    :class:`~repro.rl.telemetry.TelemetryWriter` or path) is forwarded
+    to the :class:`~repro.rl.trainer.Trainer` for per-episode records.
     """
     phases = three_phase_curriculum(
         model,
@@ -50,7 +53,8 @@ def train_with_curriculum(
         jobs_per_set=jobs_per_set,
         order=order,
     )
-    trainer = Trainer(agent, model.num_nodes, validation_jobs=validation_jobs)
+    trainer = Trainer(agent, model.num_nodes, validation_jobs=validation_jobs,
+                      telemetry=telemetry)
     return trainer.train(_flatten(phases))
 
 

@@ -1,0 +1,220 @@
+"""Per-episode RL training telemetry (JSONL, schema ``repro.telemetry/v1``).
+
+Answers "is training healthy?" without re-running anything: every
+episode the :class:`~repro.rl.trainer.Trainer` appends one JSON record
+with the learning signals (loss, gradient norm, policy entropy,
+epsilon), the reward curve, and the simulator-side load statistics
+(queue depth, utilization).  Records are flushed as they are written,
+so a crashed training run leaves a readable file up to its last
+completed episode.
+
+Anomaly detection is split in two layers:
+
+* :func:`detect_anomalies` is pure — it flags suspicious episodes
+  (``nan_grad``, ``reward_collapse``, ``utilization_drop``) from the
+  record plus its history and returns the flags, which the trainer
+  stores in the record itself;
+* :func:`raise_hard_anomalies` routes the one *hard* failure
+  (non-finite learning signals) through the existing sanitizer
+  machinery: under ``REPRO_SANITIZE=1`` it raises
+  :class:`~repro.check.sanitize.SanitizerError` — after the record has
+  been written, so the evidence survives the crash.
+
+The soft flags (reward collapse, utilization drop) never raise; real
+training runs regularly brush against them early on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import warnings
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.check.sanitize import SanitizerError, sanitizer_enabled
+
+#: schema tag stamped on the meta line of every telemetry file
+TELEMETRY_SCHEMA = "repro.telemetry/v1"
+
+#: anomaly flag names (the only values that appear in ``anomalies``)
+ANOMALY_NAN_GRAD = "nan_grad"
+ANOMALY_REWARD_COLLAPSE = "reward_collapse"
+ANOMALY_UTILIZATION_DROP = "utilization_drop"
+
+
+class TelemetryWarning(UserWarning):
+    """Warning category for skipped lines in lenient telemetry reads."""
+
+
+class TelemetryWriter:
+    """Appends one JSON line per training episode to a file.
+
+    The first line is a ``meta`` record carrying the schema tag; each
+    call to :meth:`write_episode` appends an ``episode`` record and
+    flushes, so the file is readable mid-run and after a crash.  Use as
+    a context manager, or call :meth:`close` explicitly::
+
+        with TelemetryWriter("run.telemetry.jsonl") as telemetry:
+            trainer = Trainer(agent, 256, telemetry=telemetry)
+            trainer.train(jobsets)
+    """
+
+    def __init__(self, path: str | Path, meta: Mapping[str, Any] | None = None):
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._closed = False
+        self.n_written = 0
+        header: dict[str, Any] = {"type": "meta", "schema": TELEMETRY_SCHEMA}
+        if meta:
+            header.update(meta)
+        self._write_line(header)
+
+    def _write_line(self, record: Mapping[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  allow_nan=True) + "\n")
+        self._fh.flush()
+
+    def write_episode(self, record: Mapping[str, Any]) -> None:
+        """Append one episode record (``type`` is stamped here)."""
+        if self._closed:
+            raise ValueError("telemetry writer is closed")
+        doc = dict(record)
+        doc["type"] = "episode"
+        self._write_line(doc)
+        self.n_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_telemetry(
+    path: str | Path, strict: bool = False
+) -> list[dict[str, Any]]:
+    """Read a telemetry JSONL file back into a list of dicts.
+
+    JSON treats ``NaN``/``Infinity`` literals as an extension; the
+    reader accepts them (Python's parser does by default).  With
+    ``strict=False`` (the default — telemetry files from crashed runs
+    are a primary input) malformed lines are skipped with a
+    :class:`TelemetryWarning`; with ``strict=True`` they raise
+    ``ValueError``.
+    """
+    records: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid JSON: {exc}"
+                    ) from exc
+                warnings.warn(
+                    f"{path}:{lineno}: skipping invalid JSON line",
+                    TelemetryWarning, stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict):
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: expected an object, "
+                        f"got {type(record).__name__}"
+                    )
+                warnings.warn(
+                    f"{path}:{lineno}: skipping non-object record",
+                    TelemetryWarning, stacklevel=2,
+                )
+                continue
+            records.append(record)
+    return records
+
+
+def episode_records(
+    records: Iterable[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """The ``episode`` records of a telemetry document, in file order."""
+    return [dict(r) for r in records if r.get("type") == "episode"]
+
+
+def _finite(value: Any) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def _values(history: Sequence[Mapping[str, Any]], key: str) -> list[float]:
+    return [float(r[key]) for r in history if _finite(r.get(key))]
+
+
+def detect_anomalies(
+    record: Mapping[str, Any],
+    history: Sequence[Mapping[str, Any]] = (),
+) -> list[str]:
+    """Flag suspicious signals in one episode record (pure; never raises).
+
+    ``history`` is the episode records *before* this one.  Flags:
+
+    * ``nan_grad`` — ``grad_norm`` or ``loss`` is present but
+      non-finite.  The learning signal is corrupt; later parameters
+      are garbage.
+    * ``reward_collapse`` — with at least 3 prior finite train rewards,
+      this episode's train reward sits more than 4 standard deviations
+      below their mean.  The policy fell off a cliff (often a sign of
+      an exploding update the clip did not catch).
+    * ``utilization_drop`` — with at least 3 prior finite utilization
+      samples averaging above zero, this episode's utilization is below
+      half that average.  The policy stopped packing the machine.
+    """
+    flags: list[str] = []
+    for key in ("grad_norm", "loss"):
+        value = record.get(key)
+        if isinstance(value, (int, float)) and not math.isfinite(value):
+            flags.append(ANOMALY_NAN_GRAD)
+            break
+
+    reward = record.get("train_reward")
+    prior_rewards = _values(history, "train_reward")
+    if _finite(reward) and len(prior_rewards) >= 3:
+        mean = sum(prior_rewards) / len(prior_rewards)
+        var = sum((v - mean) ** 2 for v in prior_rewards) / len(prior_rewards)
+        std = math.sqrt(var)
+        if std > 0 and float(reward) < mean - 4.0 * std:
+            flags.append(ANOMALY_REWARD_COLLAPSE)
+
+    utilization = record.get("utilization")
+    prior_util = _values(history, "utilization")
+    if _finite(utilization) and len(prior_util) >= 3:
+        mean = sum(prior_util) / len(prior_util)
+        if mean > 0 and float(utilization) < 0.5 * mean:
+            flags.append(ANOMALY_UTILIZATION_DROP)
+    return flags
+
+
+def raise_hard_anomalies(
+    flags: Sequence[str], record: Mapping[str, Any]
+) -> None:
+    """Escalate hard anomalies through the sanitizer machinery.
+
+    Only ``nan_grad`` is hard — a non-finite learning signal poisons
+    every later parameter, so continuing silently is the worst outcome.
+    Under ``REPRO_SANITIZE=1`` this raises
+    :class:`~repro.check.sanitize.SanitizerError`; otherwise it is a
+    no-op (the flag is already durable in the telemetry file).  Soft
+    flags (reward collapse, utilization drop) never raise.
+    """
+    if ANOMALY_NAN_GRAD in flags and sanitizer_enabled():
+        raise SanitizerError(
+            "telemetry: non-finite learning signal at episode "
+            f"{record.get('episode')} (phase {record.get('phase')!r}): "
+            f"loss={record.get('loss')} grad_norm={record.get('grad_norm')}"
+        )

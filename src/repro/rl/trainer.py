@@ -11,15 +11,19 @@ validation reward plateaus.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
+from repro.rl import telemetry as _telemetry
 from repro.rl.meter import RewardMeter
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Engine
 from repro.sim.job import Job
+from repro.sim.metrics import RunMetrics
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,13 @@ class Trainer:
     validation_jobs:
         The unseen jobset scored after every episode (§IV-D uses one
         held-out month).  Without it, validation rewards are NaN.
+    telemetry:
+        Per-episode JSONL telemetry (:mod:`repro.rl.telemetry`).  Pass
+        a :class:`~repro.rl.telemetry.TelemetryWriter` or a path to
+        create one.  When set, the trainer enables the agent's cheap
+        learning-signal collectors (gradient-norm tracking on the
+        optimizer, policy-entropy capture on the PG core) and writes
+        one ``episode`` record per episode with anomaly flags attached.
     """
 
     def __init__(
@@ -89,6 +100,7 @@ class Trainer:
         num_nodes: int,
         validation_jobs: list[Job] | None = None,
         snapshot_every: int = 1,
+        telemetry: "_telemetry.TelemetryWriter | str | Path | None" = None,
     ) -> None:
         if snapshot_every <= 0:
             raise ValueError("snapshot_every must be positive")
@@ -98,6 +110,50 @@ class Trainer:
         self.snapshot_every = snapshot_every
         #: always-on training statistics (episode counts, phase timers)
         self.metrics = MetricsRegistry()
+        if isinstance(telemetry, (str, Path)):
+            telemetry = _telemetry.TelemetryWriter(telemetry)
+        #: per-episode telemetry writer (None disables all collection)
+        self.telemetry = telemetry
+        self._telemetry_history: list[dict[str, Any]] = []
+        self._episode_load: dict[str, Any] = {}
+        if telemetry is not None:
+            self._enable_agent_stats()
+
+    def _enable_agent_stats(self) -> None:
+        """Turn on the agent-side learning-signal collectors."""
+        optimizer = getattr(self.agent, "optimizer", None)
+        if optimizer is not None and hasattr(optimizer, "track_grad_norm"):
+            optimizer.track_grad_norm = True
+        core = getattr(self.agent, "core", None)
+        if core is not None and hasattr(core, "collect_stats"):
+            core.collect_stats = True
+
+    def _agent_learning_stats(self) -> dict[str, float]:
+        """Latest loss / grad-norm / entropy / epsilon from the agent.
+
+        Works across all agent families via duck typing: PG agents keep
+        losses and entropy on ``agent.core``, DQL keeps losses and
+        epsilon on the agent itself.  Signals an agent does not produce
+        come back NaN (epsilon is simply omitted)."""
+        agent = self.agent
+        core = getattr(agent, "core", None)
+        losses = getattr(agent, "losses", None)
+        if losses is None and core is not None:
+            losses = getattr(core, "losses", None)
+        stats: dict[str, float] = {
+            "loss": float(losses[-1]) if losses else float("nan"),
+            "grad_norm": float(
+                getattr(getattr(agent, "optimizer", None),
+                        "last_grad_norm", float("nan"))
+            ),
+            "entropy": float(
+                getattr(core, "last_entropy", float("nan"))
+            ) if core is not None else float("nan"),
+        }
+        epsilon = getattr(agent, "epsilon", None)
+        if epsilon is not None:
+            stats["epsilon"] = float(epsilon)
+        return stats
 
     # -- single pieces -----------------------------------------------------------
     def run_episode(self, jobset: list[Job]) -> float:
@@ -113,11 +169,20 @@ class Trainer:
         tracer = _trace.global_tracer()
         with self.metrics.timer("train.episode_s").time():
             if tracer is None:
-                engine.run()
+                result = engine.run()
             else:
                 with tracer.span("train.episode", jobs=len(jobset)):
-                    engine.run()
+                    result = engine.run()
         self.metrics.counter("train.episodes").inc()
+        if self.telemetry is not None:
+            gauge = engine.metrics.gauge("engine.queue_depth")
+            self._episode_load = {
+                "instances": engine.num_instances,
+                "queue_depth_last": gauge.value,
+                "queue_depth_min": gauge.min if gauge.samples else None,
+                "queue_depth_max": gauge.max if gauge.samples else None,
+                "utilization": RunMetrics.from_result(result).utilization,
+            }
         return meter.total
 
     def validate(self) -> float:
@@ -170,8 +235,35 @@ class Trainer:
                     updates_done=updates,
                 )
             )
+            if self.telemetry is not None:
+                self._emit_telemetry(history.episodes[-1])
             if episode % self.snapshot_every == 0:
                 history.snapshots.append(self.agent.state_dict())
             if stop_on_convergence and history.converged_at(convergence_window):
                 break
         return history
+
+    def _emit_telemetry(self, stats: EpisodeStats) -> None:
+        """Write one episode record; escalate hard anomalies afterwards.
+
+        The record is written (and flushed) *before*
+        :func:`~repro.rl.telemetry.raise_hard_anomalies` runs, so when a
+        non-finite learning signal aborts training under
+        ``REPRO_SANITIZE=1`` the evidence is already on disk.
+        """
+        record: dict[str, Any] = {
+            "episode": stats.episode,
+            "phase": stats.phase,
+            "num_jobs": stats.num_jobs,
+            "train_reward": stats.train_reward,
+            "validation_reward": stats.validation_reward,
+            "updates_done": stats.updates_done,
+            "episode_wall_s": self.metrics.timer("train.episode_s").last,
+        }
+        record.update(self._agent_learning_stats())
+        record.update(self._episode_load)
+        flags = _telemetry.detect_anomalies(record, self._telemetry_history)
+        record["anomalies"] = flags
+        self.telemetry.write_episode(record)
+        self._telemetry_history.append(record)
+        _telemetry.raise_hard_anomalies(flags, record)

@@ -33,6 +33,18 @@ class BaseScheduler:
             self._metrics = registry
         return registry
 
+    def reset_metrics(self) -> None:
+        """Zero this policy's instruments in place (names stay bound).
+
+        Call between runs or training phases when per-phase numbers
+        must not leak into the next report.  Aliased engine instruments
+        (``schedule_s``, ``instances``) are zeroed too; the engine that
+        shared them sees the same zeroed objects.
+        """
+        registry = getattr(self, "_metrics", None)
+        if registry is not None:
+            registry.reset_values()
+
     def schedule(self, view: SchedulingView) -> None:
         """Take scheduling actions for one instance via ``view``."""
         raise NotImplementedError

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Iterable, Protocol, Sequence
 
 from repro.check import sanitize as _san
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.backfill import BackfillPlanner, Reservation
@@ -259,6 +260,12 @@ class Engine:
         ``None`` (the default) follows the process-global tracer
         (``REPRO_TRACE=path`` env var).  Tracing is observe-only: a
         traced run is bit-identical to an untraced one.
+    profile:
+        Hierarchical wall-time profiling (:mod:`repro.obs.profile`).
+        Pass a :class:`~repro.obs.profile.Profiler`; ``None`` (the
+        default) follows the process-global profiler
+        (``REPRO_PROFILE=path`` env var).  Profiling is observe-only
+        and bit-identical in simulated time, like tracing.
     """
 
     def __init__(
@@ -271,6 +278,7 @@ class Engine:
         record_actions: bool = False,
         sanitize: bool | None = None,
         trace: "_trace.Tracer | str | Path | None" = None,
+        profile: "_profile.Profiler | None" = None,
     ) -> None:
         self.cluster = cluster
         self._sanitize_flag = sanitize
@@ -280,6 +288,7 @@ class Engine:
         if isinstance(trace, (str, Path)):
             trace = _trace.Tracer(trace)
         self._trace_flag = trace
+        self._profile_flag = profile
         self.scheduler = scheduler
         self.queue = WaitQueue()
         self.planner = BackfillPlanner(cluster)
@@ -303,6 +312,8 @@ class Engine:
         self._m_schedule = self.metrics.timer("engine.schedule_s")
         #: tracer resolved at the top of :meth:`run` (None when off)
         self._run_tracer: "_trace.Tracer | None" = None
+        #: profiler resolved at the top of :meth:`run` (None when off)
+        self._run_prof: "_profile.Profiler | None" = None
 
         for job in jobs:
             if job.state is not JobState.PENDING:
@@ -332,6 +343,13 @@ class Engine:
         if self._trace_flag is not None:
             return self._trace_flag
         return _trace.global_tracer()
+
+    @property
+    def profiler(self) -> "_profile.Profiler | None":
+        """The profiler this engine records into (explicit, else global)."""
+        if self._profile_flag is not None:
+            return self._profile_flag
+        return _profile.global_profiler()
 
     # -- internal hooks used by the view ----------------------------------------
     def _record(self, action: Action) -> None:
@@ -400,48 +418,64 @@ class Engine:
         sanitize_active = self.sanitize_active
         tracer = self.tracer
         self._run_tracer = tracer
+        prof = self.profiler
+        self._run_prof = prof
+        prof_depth = prof.open_depth if prof is not None else 0
         # share (not duplicate) the per-instance instruments with the
         # scheduler's registry, so the hot loop records each sample once
         sched_metrics = getattr(self.scheduler, "metrics", None)
         if isinstance(sched_metrics, MetricsRegistry):
             sched_metrics.alias("schedule_s", self._m_schedule)
             sched_metrics.alias("instances", self._m_instances)
-        while self.events:
-            if self.max_time is not None and self.events.peek().time > self.max_time:
-                break
-            batch = self.events.pop_simultaneous()
-            if sanitize_active:
-                _san.check_monotonic_time(self.now, batch[0].time)
-            self.now = batch[0].time
-            if tracer is not None:
-                span = tracer.begin("engine.instance", t=self.now,
-                                    batch=len(batch))
-            for event in batch:
-                job = self._jobs[event.job_id]
-                if event.kind is EventKind.FINISH:
-                    self._m_finishes.value += 1
-                    self._finish_job(job)
-                else:
-                    self._m_submits.value += 1
-                    self.queue.submit(job)
-            self._run_instance()
-            if tracer is not None:
-                tracer.end(span)
+        try:
+            if prof is not None:
+                prof.push("engine.run")
+            while self.events:
+                if self.max_time is not None \
+                        and self.events.peek().time > self.max_time:
+                    break
+                batch = self.events.pop_simultaneous()
+                if sanitize_active:
+                    _san.check_monotonic_time(self.now, batch[0].time)
+                self.now = batch[0].time
+                if prof is not None:
+                    prof.push("engine.instance")
+                if tracer is not None:
+                    span = tracer.begin("engine.instance", t=self.now,
+                                        batch=len(batch))
+                for event in batch:
+                    job = self._jobs[event.job_id]
+                    if event.kind is EventKind.FINISH:
+                        self._m_finishes.value += 1
+                        self._finish_job(job)
+                    else:
+                        self._m_submits.value += 1
+                        self.queue.submit(job)
+                self._run_instance()
+                if tracer is not None:
+                    tracer.end(span)
+                if prof is not None:
+                    prof.pop()
 
-        if len(self.queue) > 0 and not self._running:
-            stuck = [j.job_id for j in self.queue.waiting]
-            raise SimulationError(
-                f"simulation stalled with waiting jobs {stuck[:5]} and an idle "
-                "cluster; the policy failed to start any runnable job"
-            )
+            if len(self.queue) > 0 and not self._running:
+                stuck = [j.job_id for j in self.queue.waiting]
+                raise SimulationError(
+                    f"simulation stalled with waiting jobs {stuck[:5]} and an "
+                    "idle cluster; the policy failed to start any runnable job"
+                )
+        finally:
+            # durability: never lose the buffered trace tail, and never
+            # leak open profile scopes, even when the policy raises
+            if prof is not None:
+                prof.pop_to(prof_depth)
+            if tracer is not None:
+                tracer.flush()
+            self._run_tracer = None
+            self._run_prof = None
 
         hook = getattr(self.scheduler, "on_simulation_end", None)
         if hook is not None:
             hook(self)
-
-        if tracer is not None:
-            tracer.flush()
-        self._run_tracer = None
 
         return SimulationResult(
             jobs=list(self._jobs.values()),
@@ -468,9 +502,14 @@ class Engine:
         gauge.samples += 1
         view = SchedulingView(self)
         timer = self._m_schedule
+        prof = self._run_prof
+        if prof is not None:
+            prof.push("engine.schedule")
         t0 = _perf_counter()
         self.scheduler.schedule(view)
         sample = _perf_counter() - t0
+        if prof is not None:
+            prof.pop()
         timer.count += 1
         timer.total += sample
         timer.last = sample
@@ -493,6 +532,7 @@ def run_simulation(
     record_actions: bool = False,
     sanitize: bool | None = None,
     trace: "_trace.Tracer | str | Path | None" = None,
+    profile: "_profile.Profiler | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a cluster + engine and run it."""
     cluster = Cluster(num_nodes, sanitize=sanitize)
@@ -505,5 +545,6 @@ def run_simulation(
         record_actions=record_actions,
         sanitize=sanitize,
         trace=trace,
+        profile=profile,
     )
     return engine.run()

@@ -230,3 +230,76 @@ class TestReproduce:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "fig99"])
+
+
+class TestReportAndTrace:
+    def _simulated(self, tmp_path, capsys):
+        swf = tmp_path / "w.swf"
+        main(["generate", "theta", "60", "--nodes", "32", "--out", str(swf)])
+        trace = tmp_path / "trace.jsonl"
+        manifest = tmp_path / "m.json"
+        rc = main(["simulate", str(swf), "--nodes", "32",
+                   "--trace-out", str(trace), "--manifest", str(manifest)])
+        assert rc == 0
+        capsys.readouterr()
+        return trace, manifest
+
+    def test_simulate_report_flag(self, tmp_path, capsys):
+        swf = tmp_path / "w.swf"
+        main(["generate", "theta", "60", "--nodes", "32", "--out", str(swf)])
+        report = tmp_path / "run.html"
+        rc = main(["simulate", str(swf), "--nodes", "32",
+                   "--trace-out", str(tmp_path / "t.jsonl"),
+                   "--report", str(report)])
+        assert rc == 0
+        assert "wrote report" in capsys.readouterr().out
+        html = report.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html  # trace analytics charts made it in
+
+    def test_report_stitches_artifacts(self, tmp_path, capsys):
+        trace, manifest = self._simulated(tmp_path, capsys)
+        report = tmp_path / "r.html"
+        rc = main(["report", "--out", str(report), "--title", "stitched",
+                   "--manifest", str(manifest), "--trace", str(trace)])
+        assert rc == 0
+        html = report.read_text()
+        assert "<title>stitched</title>" in html
+        assert "Trace analytics" in html and "Manifest" in html
+
+    def test_report_missing_artifact_exits_2(self, tmp_path, capsys):
+        rc = main(["report", "--out", str(tmp_path / "r.html"),
+                   "--trace", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "cannot build report" in capsys.readouterr().err
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        trace, _ = self._simulated(tmp_path, capsys)
+        rc = main(["trace", "summarize", str(trace), "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine.instance" in out
+        assert "decision latency" in out
+
+    def test_trace_summarize_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["trace", "summarize", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_train_report_writes_telemetry_sidecar(self, tmp_path, capsys):
+        ckpt = tmp_path / "agent.npz"
+        report = tmp_path / "train.html"
+        rc = main(["train", "--agent", "pg", "--system", "theta",
+                   "--nodes", "32", "--window", "6", "--train-jobs", "150",
+                   "--sampled", "1", "--real", "1", "--synthetic", "1",
+                   "--jobs-per-set", "50", "--out", str(ckpt),
+                   "--report", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry records" in out
+        sidecar = tmp_path / "agent.npz.telemetry.jsonl"
+        assert sidecar.exists()
+        from repro.rl.telemetry import episode_records, read_telemetry
+        episodes = episode_records(read_telemetry(sidecar))
+        assert episodes and all("grad_norm" in r for r in episodes)
+        assert "Training telemetry" in report.read_text()

@@ -1,0 +1,186 @@
+"""Trace analytics: rollups, histograms, timelines, manifest diffs."""
+
+import numpy as np
+import pytest
+
+from repro.obs.analyze import (
+    Histogram,
+    diff_manifests,
+    decision_latencies,
+    format_trace_summary,
+    latency_histogram,
+    mean_utilization,
+    rollup_spans,
+    summarize_trace,
+    utilization_timeline,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.trace import Tracer, build_span_tree, read_trace
+from repro.schedulers.fcfs import FCFSEasy
+from repro.sim.engine import run_simulation
+from repro.workload.models import ThetaModel
+
+
+def _jobs(n=120, nodes=32, seed=0):
+    model = ThetaModel.scaled(nodes)
+    return model.generate(n, np.random.default_rng(seed))
+
+
+def _trace_roots(tmp_path, build):
+    path = tmp_path / "t.jsonl"
+    with Tracer(path) as tr:
+        build(tr)
+    return build_span_tree(read_trace(path))
+
+
+class TestRollups:
+    def test_rollup_counts_and_nesting(self, tmp_path):
+        def build(tr):
+            for _ in range(3):
+                with tr.span("outer"):
+                    with tr.span("inner"):
+                        pass
+
+        rollups = rollup_spans(_trace_roots(tmp_path, build))
+        by_name = {r.name: r for r in rollups}
+        assert by_name["outer"].count == 3
+        assert by_name["inner"].count == 3
+        assert by_name["outer"].unclosed == 0
+        # self time excludes the nested child
+        assert by_name["outer"].self_s <= by_name["outer"].total_s
+        assert by_name["outer"].mean_s == pytest.approx(
+            by_name["outer"].total_s / 3)
+
+    def test_unclosed_spans_counted_not_timed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = Tracer(path)
+        tr.begin("crashed")
+        tr.close()
+        (rollup,) = rollup_spans(build_span_tree(read_trace(path)))
+        assert rollup.count == 1 and rollup.unclosed == 1
+        assert rollup.total_s == 0.0 and rollup.mean_s == 0.0
+
+
+class TestLatencyHistogram:
+    def test_empty_and_degenerate(self):
+        empty = latency_histogram([])
+        assert empty.n == 0 and sum(empty.counts) == 0
+        single = latency_histogram([0.25] * 5)
+        assert single.n == 5 and sum(single.counts) == 5
+        assert single.p50 == 0.25 and single.max == 0.25
+
+    def test_counts_and_percentiles(self):
+        values = [0.001 * (i + 1) for i in range(100)]
+        hist = latency_histogram(values, bins=10)
+        assert hist.n == 100 and sum(hist.counts) == 100
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.100)
+        assert hist.p50 == pytest.approx(0.050)
+        assert hist.p99 == pytest.approx(0.099)
+        assert len(hist.edges) == len(hist.counts) + 1
+        # log-spaced edges are strictly increasing
+        assert all(a < b for a, b in zip(hist.edges, hist.edges[1:]))
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError, match="bins"):
+            latency_histogram([1.0], bins=0)
+
+    def test_as_dict_round_trip(self):
+        doc = latency_histogram([0.1, 0.2, 0.3]).as_dict()
+        assert doc["n"] == 3 and len(doc["edges"]) == len(doc["counts"]) + 1
+
+    def test_decision_latencies_from_engine_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        result = run_simulation(32, FCFSEasy(), _jobs(), trace=path)
+        roots = build_span_tree(read_trace(path))
+        latencies = decision_latencies(roots)
+        assert len(latencies) == result.num_instances
+        assert all(d >= 0.0 for d in latencies)
+
+
+class TestUtilizationTimeline:
+    def test_step_series_from_events(self):
+        records = [
+            {"type": "event", "name": "engine.allocate", "t": 0.0, "size": 4},
+            {"type": "event", "name": "engine.allocate", "t": 0.0, "size": 2},
+            {"type": "event", "name": "engine.release", "t": 10.0, "size": 4},
+            {"type": "event", "name": "engine.release", "t": 30.0, "size": 2},
+            {"type": "event", "name": "unrelated", "t": 5.0, "size": 99},
+            "garbage",
+        ]
+        timeline = utilization_timeline(records)
+        # simultaneous events collapse to one point per timestamp
+        assert timeline == [(0.0, 6), (10.0, 2), (30.0, 0)]
+        # 6 nodes for 10s + 2 nodes for 20s over 8 nodes * 30s
+        assert mean_utilization(timeline, 8) == pytest.approx(100.0 / 240.0)
+
+    def test_engine_trace_ends_drained(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        run_simulation(32, FCFSEasy(), _jobs(), trace=path)
+        timeline = utilization_timeline(read_trace(path))
+        assert timeline[-1][1] == 0  # all nodes released at the end
+        assert max(busy for _, busy in timeline) <= 32
+        assert min(busy for _, busy in timeline) >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            mean_utilization([(0.0, 1), (1.0, 0)], 0)
+        assert mean_utilization([], 4) == 0.0
+
+
+class TestManifestDiff:
+    def test_identical_minus_volatile(self):
+        a = RunManifest.create(kind="simulate", seed=1, config={"n": 2},
+                               summary={"wait": 3.0})
+        b = RunManifest.create(kind="simulate", seed=1, config={"n": 2},
+                               summary={"wait": 3.0})
+        assert diff_manifests(a, b) == []
+
+    def test_nested_and_one_sided_fields(self):
+        a = RunManifest.create(kind="simulate", seed=1,
+                               config={"n": 2, "only_a": True},
+                               summary={"wait": 4.0})
+        b = RunManifest.create(kind="simulate", seed=1, config={"n": 3},
+                               summary={"wait": 5.0})
+        diffs = {d.path: d for d in diff_manifests(a, b)}
+        assert diffs["config.n"].baseline == 2
+        assert diffs["config.n"].current == 3
+        assert diffs["config.only_a"].current is None
+        assert diffs["summary.wait"].rel_change == pytest.approx(0.25)
+        # non-numeric pairs have no relative change
+        assert diffs["config.only_a"].rel_change is None
+
+    def test_accepts_plain_dicts(self):
+        a = {"seed": 1, "created_unix": 100}
+        b = {"seed": 2, "created_unix": 999}
+        (diff,) = diff_manifests(a, b)
+        assert diff.path == "seed"  # created_unix is volatile, excluded
+
+
+class TestSummarize:
+    def test_summarize_and_format(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        result = run_simulation(32, FCFSEasy(), _jobs(), trace=path)
+        summary = summarize_trace(path)
+        assert summary.n_unclosed == 0
+        assert summary.decision_histogram.n == result.num_instances
+        assert summary.event_counts["engine.allocate"] == len(
+            result.finished_jobs)
+        assert summary.peak_busy_nodes <= 32
+        t0, t1 = summary.sim_time_span
+        assert t0 <= t1
+        text = format_trace_summary(summary)
+        assert "engine.instance" in text
+        assert "decision latency" in text
+
+    def test_summarize_tolerates_truncation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        run_simulation(32, FCFSEasy(), _jobs(n=40), trace=path)
+        lines = path.read_text().splitlines()
+        # cut mid-run and corrupt the tail, as a crash would
+        truncated = tmp_path / "crash.jsonl"
+        truncated.write_text(
+            "\n".join(lines[: len(lines) // 2]) + '\n{"type": "beg')
+        with pytest.warns(UserWarning):
+            summary = summarize_trace(truncated)
+        assert summary.n_records > 0

@@ -28,6 +28,7 @@ from check_bench_regression import (  # noqa: E402
     Comparison,
     compare_docs,
     load_baseline_from_git,
+    main as check_bench_main,
 )
 
 
@@ -119,6 +120,70 @@ class TestCompareLogic:
     def test_comparison_ratio(self):
         comp = Comparison("x", "events_per_s", baseline=200.0, current=100.0)
         assert comp.ratio == 0.5 and comp.regressed(0.20)
+
+
+class TestGithubAnnotations:
+    def _write(self, tmp_path, name, rate, bench_name="engine-throughput"):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "schema": BENCH_SCHEMA,
+            "kind": "sim",
+            "quick": False,
+            "benchmarks": [{
+                "name": bench_name, "reps": 3, "wall_s": 1.0,
+                "events_per_s": rate, "seed": 0, "git_sha": "x", "extra": {},
+            }],
+            "manifest": {"kind": "bench"},
+        }))
+        return path
+
+    def _run(self, tmp_path, baseline_rate, current_rate, *extra,
+             monkeypatch=None):
+        baseline = self._write(tmp_path, "base.json", baseline_rate)
+        current = self._write(tmp_path, "cur.json", current_rate)
+        return check_bench_main([
+            "--current", str(current), "--baseline", str(baseline), *extra])
+
+    def test_regression_emits_error_annotation(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.delenv("GITHUB_ACTIONS", raising=False)
+        rc = self._run(tmp_path, 100.0, 50.0, "--github")
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "::error title=bench regression check::" in out
+        assert "regressed" in out
+
+    def test_near_threshold_emits_warning(self, tmp_path, capsys,
+                                          monkeypatch):
+        # 0.82x: inside the 20% tolerance but within the 5pp warning band
+        monkeypatch.delenv("GITHUB_ACTIONS", raising=False)
+        rc = self._run(tmp_path, 100.0, 82.0, "--github")
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "::warning" in out and "::error" not in out
+
+    def test_new_benchmark_warns(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")  # implies --github
+        baseline = self._write(tmp_path, "base.json", 100.0)
+        current = tmp_path / "cur.json"
+        doc = json.loads(self._write(tmp_path, "tmp.json", 100.0).read_text())
+        doc["benchmarks"].append(dict(doc["benchmarks"][0],
+                                      name="brand-new"))
+        current.write_text(json.dumps(doc))
+        rc = check_bench_main([
+            "--current", str(current), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "::warning" in out
+        assert "brand-new: new benchmark with no baseline" in out
+
+    def test_annotations_off_outside_actions(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.delenv("GITHUB_ACTIONS", raising=False)
+        rc = self._run(tmp_path, 100.0, 50.0)
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "::error" not in out and "REGRESSION" in out
 
 
 @pytest.mark.bench

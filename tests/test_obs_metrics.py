@@ -119,3 +119,70 @@ class TestWiredRegistries:
         assert snap["train.episodes"] == 1
         assert snap["train.validations"] == 1
         assert snap["train.episode_s"]["count"] == 1
+
+
+class TestResetSemantics:
+    def test_reset_values_keeps_bindings(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        gauge = reg.gauge("g")
+        timer = reg.timer("t")
+        counter.inc(5)
+        gauge.set(2.0)
+        timer.observe(0.5)
+        reg.reset_values()
+        # names stay bound to the SAME objects, now zeroed
+        assert reg.counter("c") is counter and counter.value == 0
+        assert reg.gauge("g") is gauge and gauge.samples == 0
+        assert reg.timer("t") is timer and timer.count == 0
+        # cached references keep recording after the reset
+        counter.inc()
+        assert reg.snapshot()["c"] == 1
+
+    def test_reset_values_zeroes_aliased_instrument_once(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        shared = a.timer("schedule_s")
+        b.alias("schedule_s", shared)
+        shared.observe(1.0)
+        b.reset_values()
+        # both registries see the same zeroed object
+        assert a.timer("schedule_s").count == 0
+        assert b.snapshot()["schedule_s"]["count"] == 0
+
+    def test_alias_rejects_non_instrument(self):
+        with pytest.raises(TypeError, match="not an instrument"):
+            MetricsRegistry().alias("x", object())
+
+    def test_scheduler_reset_between_runs(self):
+        """reset_metrics between runs: counts reflect the second run only,
+        and the engine alias survives because instruments are zeroed in
+        place rather than dropped."""
+        model = ThetaModel.scaled(32)
+        scheduler = FCFSEasy()
+        for expected_runs in (1, 2):
+            jobs = model.generate(60, np.random.default_rng(expected_runs))
+            engine = Engine(Cluster(32), scheduler, jobs)
+            result = engine.run()
+            snap = scheduler.metrics.snapshot()
+            assert snap["instances"] == result.num_instances
+            scheduler.reset_metrics()
+        assert scheduler.metrics.snapshot()["instances"] == 0
+
+    def test_reset_metrics_before_first_access_is_noop(self):
+        scheduler = FCFSEasy()
+        scheduler.__dict__.pop("_metrics", None)
+        scheduler.reset_metrics()  # must not create the registry
+        assert getattr(scheduler, "_metrics", None) is None
+
+    def test_same_engine_rerun_accumulates_until_reset(self):
+        model = ThetaModel.scaled(32)
+        scheduler = FCFSEasy()
+        jobs = model.generate(40, np.random.default_rng(0))
+        engine = Engine(Cluster(32), scheduler, jobs)
+        result = engine.run()
+        first = engine.metrics.snapshot()["engine.instances"]
+        assert first == result.num_instances
+        engine.metrics.reset_values()
+        assert engine.metrics.snapshot()["engine.instances"] == 0
+        # the engine's cached instrument refs still work after zeroing
+        assert scheduler.metrics.snapshot()["instances"] == 0

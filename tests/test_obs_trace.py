@@ -2,6 +2,9 @@
 
 import io
 import json
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -9,6 +12,7 @@ import pytest
 from repro.obs.trace import (
     TRACE_SCHEMA,
     Tracer,
+    TraceWarning,
     build_span_tree,
     global_tracer,
     read_trace,
@@ -17,6 +21,9 @@ from repro.obs.trace import (
 from repro.schedulers.fcfs import FCFSEasy
 from repro.sim.engine import run_simulation
 from repro.workload.models import ThetaModel
+
+
+REPO = Path(__file__).resolve().parent.parent
 
 
 def _jobs(n=120, nodes=32, seed=0):
@@ -144,3 +151,82 @@ class TestEngineTracing:
         assert len(allocs) == len(result.finished_jobs)
         # every event carries the engine clock alongside the wall clock
         assert all("t" in e and "wall" in e for e in events)
+
+
+class TestTraceDurability:
+    def test_exit_flushes_under_exception(self, tmp_path):
+        """The ``with`` block persists the buffered tail when it raises."""
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with Tracer(path, buffer_lines=10_000) as tr:
+                tr.begin("doomed")
+                tr.event("last_words", n=1)
+                raise RuntimeError("boom")
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["meta", "begin", "event"]
+        assert records[2]["n"] == 1
+
+    def test_crashed_process_leaves_parseable_trace(self, tmp_path):
+        """REPRO_TRACE + an unhandled exception: atexit flush still
+        persists everything emitted before the crash."""
+        out = tmp_path / "crash.jsonl"
+        code = (
+            "import numpy as np\n"
+            "from repro.schedulers.fcfs import FCFSEasy\n"
+            "from repro.sim.engine import run_simulation\n"
+            "from repro.workload.models import ThetaModel\n"
+            "class Exploding(FCFSEasy):\n"
+            "    def schedule(self, view):\n"
+            "        if view.now > 0:\n"
+            "            raise RuntimeError('mid-run crash')\n"
+            "        return super().schedule(view)\n"
+            "jobs = ThetaModel.scaled(32).generate("
+            "40, np.random.default_rng(0))\n"
+            "run_simulation(32, Exploding(), jobs)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": str(REPO / "src"),
+                 "REPRO_TRACE": str(out), "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode != 0
+        assert "mid-run crash" in proc.stderr
+        records = read_trace(out)  # strict parse: every line survived whole
+        assert records[0]["type"] == "meta"
+        instances = [s for s in build_span_tree(records)
+                     if s.name == "engine.instance"]
+        assert instances, "spans emitted before the crash must survive"
+        # the span the policy raised inside is unclosed but present
+        assert any(s.wall_end is None for s in instances)
+
+
+class TestLenientParsing:
+    def test_lenient_read_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tr:
+            with tr.span("ok"):
+                tr.event("e")
+        # simulate a crash mid-write: corrupt tail + a stray array line
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('[1, 2]\n{"type": "beg')
+        with pytest.warns(TraceWarning):
+            records = read_trace(path, strict=False)
+        assert [r["type"] for r in records] == [
+            "meta", "begin", "event", "end"]
+
+    def test_build_span_tree_survives_malformed_records(self):
+        records = [
+            {"type": "begin", "name": "a", "sid": 1, "wall": 0.0},
+            {"type": "begin", "name": "no_sid"},          # dropped
+            {"type": "end", "sid": 99, "wall": 1.0},      # unknown span
+            {"type": "end", "sid": "x", "wall": 1.0},     # bogus sid type
+            {"type": "event", "name": "e", "pid": 1},
+            {"type": "event", "name": "orphan", "pid": 42},
+            "not a dict",
+            {"type": "end", "sid": 1, "wall": 2.0},
+        ]
+        (root,) = build_span_tree(records)
+        assert root.name == "a"
+        assert root.wall_end == 2.0
+        assert [e["name"] for e in root.events] == ["e"]

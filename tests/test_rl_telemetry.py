@@ -1,0 +1,216 @@
+"""Training telemetry: records, anomaly flags, sanitizer escalation."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.check.sanitize import SanitizerError
+from repro.core.config import DRASConfig
+from repro.core.dras_pg import DRASPG
+from repro.rl.telemetry import (
+    ANOMALY_NAN_GRAD,
+    ANOMALY_REWARD_COLLAPSE,
+    ANOMALY_UTILIZATION_DROP,
+    TELEMETRY_SCHEMA,
+    TelemetryWarning,
+    TelemetryWriter,
+    detect_anomalies,
+    episode_records,
+    raise_hard_anomalies,
+    read_telemetry,
+)
+from repro.rl.trainer import Trainer
+from repro.workload.models import ThetaModel
+
+NODES = 16
+
+
+def _agent(seed=0, window=4):
+    config = DRASConfig.scaled(
+        NODES, window=window, time_scale=ThetaModel.MAX_RUNTIME, seed=seed
+    )
+    return DRASPG(config)
+
+
+def _jobsets(n_sets=2, jobs=30, seed=0):
+    model = ThetaModel.scaled(NODES)
+    rng = np.random.default_rng(seed)
+    return [("sampled", model.generate(jobs, rng)) for _ in range(n_sets)]
+
+
+class TestWriterReader:
+    def test_meta_line_and_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(path, meta={"agent": "pg"}) as writer:
+            writer.write_episode({"episode": 0, "loss": 1.5})
+            writer.write_episode({"episode": 1, "loss": float("nan")})
+        records = read_telemetry(path)
+        assert records[0]["schema"] == TELEMETRY_SCHEMA
+        assert records[0]["agent"] == "pg"
+        episodes = episode_records(records)
+        assert [r["episode"] for r in episodes] == [0, 1]
+        assert math.isnan(episodes[1]["loss"])  # NaN survives the round trip
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer.write_episode({})
+
+    def test_lenient_read_skips_garbage(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n[1, 2]\n'
+                        '{"type": "episode", "episode": 0}\n')
+        with pytest.warns(TelemetryWarning):
+            records = read_telemetry(path)
+        assert len(records) == 2
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_telemetry(path, strict=True)
+
+
+class TestAnomalyDetection:
+    def test_nan_grad_flagged(self):
+        assert detect_anomalies({"grad_norm": float("nan")}) == [
+            ANOMALY_NAN_GRAD]
+        assert detect_anomalies({"loss": float("inf")}) == [ANOMALY_NAN_GRAD]
+        assert detect_anomalies({"grad_norm": 1.0, "loss": 2.0}) == []
+
+    def test_reward_collapse_needs_history(self):
+        history = [{"train_reward": 10.0 + i * 0.1} for i in range(4)]
+        collapsed = {"train_reward": -50.0}
+        assert ANOMALY_REWARD_COLLAPSE in detect_anomalies(collapsed, history)
+        normal = {"train_reward": 10.2}
+        assert detect_anomalies(normal, history) == []
+        # too little history: never flagged
+        assert detect_anomalies(collapsed, history[:2]) == []
+
+    def test_utilization_drop(self):
+        history = [{"utilization": 0.8} for _ in range(3)]
+        assert detect_anomalies({"utilization": 0.1}, history) == [
+            ANOMALY_UTILIZATION_DROP]
+        assert detect_anomalies({"utilization": 0.7}, history) == []
+
+    def test_hard_escalation_only_under_sanitizer(self, monkeypatch):
+        record = {"episode": 3, "phase": "real", "loss": float("nan")}
+        flags = [ANOMALY_NAN_GRAD]
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(SanitizerError, match="episode 3"):
+            raise_hard_anomalies(flags, record)
+        monkeypatch.delenv("REPRO_SANITIZE")
+        raise_hard_anomalies(flags, record)  # no-op when sanitizer off
+        # soft flags never raise, sanitizer or not
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        raise_hard_anomalies([ANOMALY_REWARD_COLLAPSE], record)
+
+
+class TestTrainerIntegration:
+    def test_records_written_per_episode(self, tmp_path):
+        path = tmp_path / "train.jsonl"
+        trainer = Trainer(_agent(), NODES, telemetry=path)
+        trainer.train(_jobsets())
+        episodes = episode_records(read_telemetry(path))
+        assert len(episodes) == 2
+        first = episodes[0]
+        assert first["phase"] == "sampled"
+        assert first["num_jobs"] == 30
+        assert math.isfinite(first["train_reward"])
+        assert math.isfinite(first["loss"])
+        assert math.isfinite(first["grad_norm"]) and first["grad_norm"] >= 0
+        assert math.isfinite(first["entropy"]) and first["entropy"] >= 0
+        assert 0.0 <= first["utilization"] <= 1.0
+        assert first["queue_depth_max"] >= first["queue_depth_min"] >= 0
+        assert first["instances"] > 0
+        assert first["anomalies"] == []
+
+    def test_telemetry_enables_agent_collectors(self, tmp_path):
+        agent = _agent()
+        assert not agent.optimizer.track_grad_norm
+        assert not agent.core.collect_stats
+        Trainer(agent, NODES, telemetry=tmp_path / "t.jsonl")
+        assert agent.optimizer.track_grad_norm
+        assert agent.core.collect_stats
+
+    def test_telemetry_off_is_default(self):
+        agent = _agent()
+        trainer = Trainer(agent, NODES)
+        trainer.train(_jobsets(n_sets=1))
+        assert trainer.telemetry is None
+        assert not agent.optimizer.track_grad_norm
+
+    def test_telemetry_does_not_perturb_training(self, tmp_path):
+        """Telemetry is observe-only: the learned weights are identical."""
+        plain = _agent(seed=7)
+        Trainer(plain, NODES).train(_jobsets(seed=7))
+        observed = _agent(seed=7)
+        Trainer(observed, NODES,
+                telemetry=tmp_path / "t.jsonl").train(_jobsets(seed=7))
+        for key, value in plain.state_dict().items():
+            np.testing.assert_array_equal(value, observed.state_dict()[key])
+
+    def test_seeded_nan_raises_through_sanitizer(self, tmp_path, monkeypatch):
+        """A poisoned learning signal aborts under REPRO_SANITIZE=1 with
+        the evidence already durable in the telemetry file."""
+        path = tmp_path / "train.jsonl"
+        agent = _agent()
+        trainer = Trainer(agent, NODES, telemetry=path)
+        # poison the recorded loss after the first update; the gradient
+        # itself stays finite so the Adam-level check does not fire first
+        original = agent.core.update
+
+        def poisoned_update():
+            loss = original()
+            agent.core.losses[-1] = float("nan")
+            return loss
+
+        monkeypatch.setattr(agent.core, "update", poisoned_update)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(SanitizerError, match="non-finite"):
+            trainer.train(_jobsets())
+        episodes = episode_records(read_telemetry(path))
+        assert episodes, "the flagged record must be durable"
+        assert ANOMALY_NAN_GRAD in episodes[-1]["anomalies"]
+
+    def test_seeded_nan_flagged_but_not_raised_without_sanitizer(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "train.jsonl"
+        agent = _agent()
+        trainer = Trainer(agent, NODES, telemetry=path)
+        original = agent.core.update
+
+        def poisoned_update():
+            loss = original()
+            agent.core.losses[-1] = float("nan")
+            return loss
+
+        monkeypatch.setattr(agent.core, "update", poisoned_update)
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        history = trainer.train(_jobsets())
+        assert len(history.episodes) == 2  # training ran to completion
+        episodes = episode_records(read_telemetry(path))
+        assert all(ANOMALY_NAN_GRAD in r["anomalies"] for r in episodes)
+
+    def test_crashed_training_leaves_readable_telemetry(self, tmp_path):
+        """Per-record flushing: a crash mid-training loses nothing."""
+        path = tmp_path / "train.jsonl"
+        trainer = Trainer(_agent(), NODES, telemetry=path)
+        jobsets = _jobsets(n_sets=3)
+        calls = {"n": 0}
+        original = trainer.run_episode
+
+        def crashing(jobset):
+            if calls["n"] == 2:
+                raise RuntimeError("simulated crash")
+            calls["n"] += 1
+            return original(jobset)
+
+        trainer.run_episode = crashing
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            trainer.train(jobsets)
+        # no close() ever ran, yet both completed episodes are on disk
+        episodes = episode_records(read_telemetry(path))
+        assert [r["episode"] for r in episodes] == [0, 1]
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line parses
