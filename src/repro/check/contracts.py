@@ -45,6 +45,7 @@ BASE_SCHEDULER = "repro.schedulers.base.BaseScheduler"
 OBSERVER_HOOKS: dict[str, tuple[str, ...]] = {
     "on_start": ("self", "job", "now"),
     "on_finish": ("self", "job", "now"),
+    "on_kill": ("self", "job", "now"),
     "on_instance": ("self", "view", "started"),
 }
 
@@ -61,11 +62,16 @@ SPAN_NAMES = frozenset({
     "engine.allocate",
     "engine.release",
     "engine.backfill_reserve",
+    "engine.node_fail",
+    "engine.node_repair",
+    "engine.job_kill",
+    "engine.job_abandon",
     "nn.forward",
     "nn.backward",
     "nn.adam_step",
     "train.episode",
     "train.validate",
+    "train.checkpoint",
 })
 
 

@@ -17,9 +17,10 @@ fail loud and early instead of producing a silently-corrupt trajectory.
 
 Checked invariants
 ------------------
-* **node conservation** — after every allocate/release:
-  ``used + free == total``, allocation table sizes match the busy-node
-  count, and the set of job ids on nodes equals the allocation table;
+* **node conservation** — after every allocate/release/fail/repair:
+  ``used + free + down == total``, allocation table sizes match the
+  busy-node count, and the set of job ids on nodes equals the
+  allocation table;
 * **event-time monotonicity** — ``Engine.run`` never moves the clock
   backwards;
 * **metric sanity** — per-job wait and turnaround are non-negative when
@@ -72,15 +73,21 @@ def _fail(invariant: str, detail: str) -> None:
 # -- simulator invariants ------------------------------------------------------
 
 def check_node_conservation(cluster: "Cluster", context: str = "") -> None:
-    """``used + free == total`` and the allocation table matches the nodes."""
+    """``used + free + down == total`` and the allocation table matches.
+
+    Without faults ``down`` is zero, reducing to the classic
+    ``used + free == total`` conservation law.
+    """
     total = cluster.num_nodes
     free = cluster.available_nodes
     used = cluster.used_nodes
+    down = cluster.down_nodes
     where = f" after {context}" if context else ""
-    if used + free != total:
+    if used + free + down != total:
         _fail(
             "node-conservation",
-            f"used ({used}) + free ({free}) != total ({total}){where}",
+            f"used ({used}) + free ({free}) + down ({down}) != "
+            f"total ({total}){where}",
         )
     allocated = sum(len(nodes) for nodes in cluster._alloc.values())
     if allocated != used:

@@ -10,7 +10,8 @@ Commands
     Replay an SWF trace under a named policy and print the metrics.
 ``train``
     Train a DRAS/Decima agent with the three-phase curriculum and
-    checkpoint it.
+    checkpoint it; ``--checkpoint``/``--resume`` make the run
+    crash-safe (see :mod:`repro.rl.checkpoint`).
 ``evaluate``
     Replay an SWF trace under a checkpointed agent.
 ``check``
@@ -32,6 +33,9 @@ write a :class:`~repro.obs.manifest.RunManifest` (seed, git SHA, config,
 workload parameters, summary metrics) alongside their output, and
 ``--report PATH`` to emit the HTML report directly; ``train`` also
 accepts ``--telemetry PATH`` for per-episode JSONL training records.
+They also accept ``--faults SPEC`` to run under seeded fault injection
+(:mod:`repro.sim.faults`; ``reproduce`` only for the ``faultsweep``
+experiment) — see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -46,7 +50,7 @@ import numpy as np
 EXPERIMENTS = (
     "table1", "table2", "table3", "table4",
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "overhead",
+    "faultsweep", "overhead",
 )
 
 POLICIES = (
@@ -77,6 +81,29 @@ def make_policy(name: str, objective: str = "capability", seed: int = 0):
         raise ValueError(
             f"unknown policy {name!r}; available: {', '.join(POLICIES)}"
         ) from None
+
+
+def parse_faults(spec: str | None):
+    """``--faults mtbf=...,mttr=...,seed=...`` → :class:`FaultConfig` or None."""
+    if spec is None:
+        return None
+    from repro.sim.faults import FaultConfig
+
+    return FaultConfig.from_spec(spec)
+
+
+def _print_resilience(result) -> None:
+    """Print the resilience block of a faulted simulation result."""
+    r = result.resilience
+    if r is None:
+        return
+    print("  -- faults --")
+    print(f"  node failures   {r.node_failures} ({r.nodes_failed} nodes)")
+    print(f"  jobs killed     {r.jobs_killed} "
+          f"(requeued {r.requeues}, abandoned {r.abandoned})")
+    print(f"  lost capacity   {r.lost_node_seconds / 3600:.1f} node-h")
+    print(f"  wasted work     {r.wasted_node_seconds / 3600:.1f} node-h")
+    print(f"  degraded util   {r.degraded_utilization:.3f}")
 
 
 # -- report assembly helper ----------------------------------------------------
@@ -118,6 +145,11 @@ def _emit_report(
 def cmd_reproduce(args: argparse.Namespace) -> int:
     import importlib
 
+    if args.faults and args.experiment != "faultsweep":
+        print("--faults applies only to the faultsweep experiment",
+              file=sys.stderr)
+        return 2
+
     if args.experiment == "all":
         from repro.experiments.runner import combined_report, run_all
 
@@ -144,6 +176,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         result = module.run()
     elif args.experiment == "overhead":
         result = module.run(full_size=not args.scaled_overhead)
+    elif args.experiment == "faultsweep":
+        result = module.run(args.scale, seed=args.seed,
+                            faults=parse_faults(args.faults))
     else:
         result = module.run(args.scale, seed=args.seed)
     text = module.report(result)
@@ -204,12 +239,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("trace contains no usable jobs", file=sys.stderr)
         return 1
     policy = make_policy(args.policy, objective=args.objective, seed=args.seed)
-    result = run_simulation(args.nodes, policy, jobs, trace=args.trace_out)
+    faults = parse_faults(args.faults)
+    result = run_simulation(args.nodes, policy, jobs, trace=args.trace_out,
+                            faults=faults)
     _print_metrics(policy.name, result)
+    _print_resilience(result)
     if args.manifest:
         from repro.obs.manifest import RunManifest
         from repro.sim.metrics import RunMetrics
 
+        summary = RunMetrics.from_result(result).as_dict()
+        if result.resilience is not None:
+            summary["resilience"] = result.resilience.as_dict()
         RunManifest.create(
             kind="simulate",
             seed=args.seed,
@@ -220,8 +261,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 "objective": args.objective,
                 "procs_per_node": args.procs_per_node,
                 "max_jobs": args.max_jobs,
+                "faults": faults.as_dict() if faults is not None else None,
             },
-            summary=RunMetrics.from_result(result).as_dict(),
+            summary=summary,
         ).write(args.manifest)
     if args.report:
         from repro.sim.metrics import RunMetrics
@@ -240,6 +282,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.core.persistence import save_agent
     from repro.experiments.common import make_agent
     from repro.rl.curriculum import train_with_curriculum
+    from repro.rl.trainer import TrainingHistory
     from repro.workload import CoriModel, ThetaModel
 
     factory = ThetaModel if args.system == "theta" else CoriModel
@@ -249,7 +292,25 @@ def cmd_train(args: argparse.Namespace) -> int:
         args.nodes, objective=objective, window=args.window,
         time_scale=factory.MAX_RUNTIME, seed=args.seed,
     )
-    agent = make_agent(args.agent, config)
+    faults = parse_faults(args.faults)
+    history = None
+    resume_offset = None
+    if args.resume:
+        from repro.rl.checkpoint import episode_stats_from_json, load_checkpoint
+
+        loaded = load_checkpoint(args.resume)
+        agent = loaded.agent
+        history = TrainingHistory(
+            episodes=episode_stats_from_json(loaded.episodes)
+        )
+        resume_offset = loaded.telemetry_offset
+        if faults is None:
+            faults = loaded.faults
+        print(f"resuming from {args.resume}: "
+              f"{loaded.episodes_done} episodes already done")
+    else:
+        agent = make_agent(args.agent, config)
+    checkpoint_path = args.checkpoint or args.resume
     rng = np.random.default_rng(args.seed)
     base = model.generate(args.train_jobs, rng)
     validation = model.generate(max(50, args.train_jobs // 5), rng)
@@ -266,6 +327,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             telemetry_path,
             meta={"agent": args.agent, "system": args.system,
                   "seed": args.seed},
+            resume_at=resume_offset,
         )
     try:
         history = train_with_curriculum(
@@ -274,6 +336,10 @@ def cmd_train(args: argparse.Namespace) -> int:
             n_synthetic=args.synthetic,
             jobs_per_set=args.jobs_per_set,
             telemetry=telemetry,
+            faults=faults,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=args.checkpoint_every,
+            history=history,
         )
     finally:
         if telemetry is not None:
@@ -306,6 +372,10 @@ def cmd_train(args: argparse.Namespace) -> int:
                     "jobs_per_set": args.jobs_per_set,
                 },
                 "checkpoint": args.out,
+                "faults": faults.as_dict() if faults is not None else None,
+                "resume": args.resume,
+                "resumable_checkpoint": str(checkpoint_path)
+                if checkpoint_path else None,
             },
             workload=describe_workload(model),
             summary={
@@ -521,6 +591,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="also write the report to this file")
     p.add_argument("--scaled-overhead", action="store_true",
                    help="overhead experiment: use a scaled network")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="fault-process override for the faultsweep "
+                        "experiment, e.g. mtbf=5000,mttr=1800,seed=1")
     p.add_argument("--manifest", metavar="PATH",
                    help="write a run manifest (JSON provenance record)")
     p.add_argument("--report", metavar="PATH",
@@ -546,6 +619,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs-per-node", type=int, default=1)
     p.add_argument("--max-jobs", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", metavar="SPEC",
+                   help="inject seeded faults, e.g. "
+                        "mtbf=5000,mttr=1800,seed=1,requeue=requeue-front "
+                        "(keys: mtbf mttr seed blade_size blade_prob "
+                        "job_kill_mtbf requeue min_repair max_requeues)")
     p.add_argument("--manifest", metavar="PATH",
                    help="write a run manifest (JSON provenance record)")
     p.add_argument("--trace-out", metavar="PATH",
@@ -566,6 +644,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs-per-set", type=int, default=250)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
+    p.add_argument("--faults", metavar="SPEC",
+                   help="train under seeded fault injection, e.g. "
+                        "mtbf=5000,mttr=1800,seed=1 (the fault seed is "
+                        "offset per episode; validation uses the base seed)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="write a crash-safe resumable training checkpoint "
+                        "after every --checkpoint-every episodes")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="episodes between resumable checkpoints (default 1)")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume an interrupted run from its resumable "
+                        "checkpoint (other flags must match the original "
+                        "run; keeps checkpointing to the same file unless "
+                        "--checkpoint overrides it)")
     p.add_argument("--manifest", metavar="PATH",
                    help="write a run manifest (JSON provenance record)")
     p.add_argument("--telemetry", metavar="PATH",

@@ -6,12 +6,23 @@ the optimizer moments, the PG baseline statistics and the DQL
 exploration rate.  These helpers serialize the complete agent state to
 a single ``.npz`` with a JSON metadata record, and rebuild the agent
 from scratch on load.
+
+Durability contract
+-------------------
+Writes are *atomic*: the archive is assembled in a same-directory
+temporary file, fsynced, and moved into place with :func:`os.replace`,
+so a crash mid-save can never leave a half-written file under the final
+name.  Loads fail *loudly*: any truncated, corrupted or non-checkpoint
+file raises :class:`CheckpointError` with an actionable message instead
+of surfacing a bare ``zipfile``/``KeyError`` traceback.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -26,6 +37,10 @@ FORMAT_VERSION = 1
 _KINDS = {"pg": DRASPG, "dql": DRASDQL, "decima": DecimaPG}
 
 
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable, truncated, or inconsistent."""
+
+
 def _kind_of(agent) -> str:
     for kind, cls in _KINDS.items():
         if type(agent) is cls:
@@ -33,16 +48,19 @@ def _kind_of(agent) -> str:
     raise TypeError(f"unsupported agent type {type(agent).__name__}")
 
 
-def save_agent(agent, path: str | Path) -> None:
-    """Write the complete trainable state of a DRAS/Decima agent."""
-    kind = _kind_of(agent)
-    config = dataclasses.asdict(agent.config)
-    meta = {
+def agent_meta(agent) -> dict:
+    """JSON-serialisable identity of an agent (kind, name, config)."""
+    return {
         "format_version": FORMAT_VERSION,
-        "kind": kind,
+        "kind": _kind_of(agent),
         "name": agent.name,
-        "config": config,
+        "config": dataclasses.asdict(agent.config),
     }
+
+
+def agent_arrays(agent) -> dict[str, np.ndarray]:
+    """Every trainable array of an agent, keyed for the ``.npz``."""
+    kind = _kind_of(agent)
     arrays: dict[str, np.ndarray] = {
         f"net.{k}": v for k, v in agent.network.state_dict().items()
     }
@@ -56,38 +74,119 @@ def save_agent(agent, path: str | Path) -> None:
         arrays["baseline.counts"] = agent.core.baseline._counts
     if kind == "dql":
         arrays["epsilon"] = np.array([agent.epsilon])
+    return arrays
+
+
+def restore_agent(meta: dict, data) -> object:
+    """Rebuild an agent from :func:`agent_meta` + loaded arrays."""
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {meta.get('format_version')!r} "
+            f"(this build reads version {FORMAT_VERSION}); re-save the "
+            "agent with a matching version of the code"
+        )
+    kind = meta["kind"]
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise CheckpointError(
+            f"unknown agent kind {kind!r}; expected one of "
+            f"{sorted(_KINDS)}"
+        ) from None
+    config = DRASConfig(**meta["config"])
+    agent = cls(config)
+    agent.network.load_state_dict(
+        {k[len("net."):]: data[k] for k in data.files if k.startswith("net.")}
+    )
+    opt = agent.optimizer
+    n_params = len(opt.params)
+    for i in range(n_params):
+        opt._m[i] = data[f"adam.m.{i}"].copy()
+        opt._v[i] = data[f"adam.v.{i}"].copy()
+    opt._t = int(data["adam.t"][0])
+    if kind in ("pg", "decima"):
+        agent.core.baseline._sums = data["baseline.sums"].copy()
+        agent.core.baseline._counts = data["baseline.counts"].copy()
+    if kind == "dql":
+        agent.epsilon = float(data["epsilon"][0])
+    return agent
+
+
+def atomic_savez(path: str | Path, arrays: dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` atomically (tmp file + fsync + ``os.replace``).
+
+    ``np.savez`` is handed an open file object so the archive lands at
+    the exact temporary path (the convenience string API appends
+    ``.npz``), then the finished file replaces the target in one atomic
+    rename.  A crash at any point leaves either the old file or the new
+    one, never a torn hybrid.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, __meta__=np.array(json.dumps(meta)), **arrays)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def load_npz_checkpoint(path: str | Path):
+    """Open an ``.npz`` checkpoint, translating corruption to loud errors.
+
+    Returns the ``NpzFile`` context manager.  Raises
+    :class:`CheckpointError` when the file is missing, truncated, or
+    not a valid archive.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(
+            f"checkpoint {path} does not exist; check the path or start "
+            "from scratch"
+        )
+    try:
+        return np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable ({exc}); the file is likely "
+            "truncated or corrupted — restore it from a backup or fall "
+            "back to an earlier checkpoint"
+        ) from exc
+
+
+def save_agent(agent, path: str | Path) -> None:
+    """Write the complete trainable state of a DRAS/Decima agent.
+
+    The write is atomic: a crash mid-save never corrupts an existing
+    checkpoint at ``path``.
+    """
+    meta = agent_meta(agent)
+    arrays = agent_arrays(agent)
+    arrays["__meta__"] = np.array(json.dumps(meta))
+    atomic_savez(path, arrays)
 
 
 def load_agent(path: str | Path):
-    """Rebuild an agent (including optimizer/exploration state)."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        meta = json.loads(str(data["__meta__"]))
-        if meta.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint format {meta.get('format_version')}"
-            )
-        kind = meta["kind"]
-        try:
-            cls = _KINDS[kind]
-        except KeyError:
-            raise ValueError(f"unknown agent kind {kind!r}") from None
-        config = DRASConfig(**meta["config"])
-        agent = cls(config)
-        agent.network.load_state_dict(
-            {k[len("net."):]: data[k] for k in data.files if k.startswith("net.")}
-        )
-        opt = agent.optimizer
-        n_params = len(opt.params)
-        for i in range(n_params):
-            opt._m[i] = data[f"adam.m.{i}"].copy()
-            opt._v[i] = data[f"adam.v.{i}"].copy()
-        opt._t = int(data["adam.t"][0])
-        if kind in ("pg", "decima"):
-            agent.core.baseline._sums = data["baseline.sums"].copy()
-            agent.core.baseline._counts = data["baseline.counts"].copy()
-        if kind == "dql":
-            agent.epsilon = float(data["epsilon"][0])
-    return agent
+    """Rebuild an agent (including optimizer/exploration state).
+
+    Raises :class:`CheckpointError` with an actionable message when the
+    file is missing, truncated, corrupted, or incomplete.
+    """
+    path = Path(path)
+    try:
+        with load_npz_checkpoint(path) as data:
+            meta = json.loads(str(data["__meta__"]))
+            return restore_agent(meta, data)
+    except CheckpointError:
+        raise
+    except (KeyError, json.JSONDecodeError, ValueError, EOFError,
+            zipfile.BadZipFile, OSError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is incomplete or corrupted ({exc}); "
+            "restore it from a backup or fall back to an earlier "
+            "checkpoint"
+        ) from exc

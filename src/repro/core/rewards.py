@@ -99,11 +99,14 @@ class CapabilityReward:
             )
             if t_max > 0:
                 starvation = mean_wait / t_max
+        # normalize by *live* capacity: when nodes are down, keeping the
+        # surviving capacity busy should still earn full reward
+        capacity = max(1, cluster.up_nodes)
         capability = 0.0
         if selected:
             mean_size = sum(j.size for j in selected) / len(selected)
-            capability = mean_size / cluster.num_nodes
-        utilization = cluster.used_nodes / cluster.num_nodes
+            capability = mean_size / capacity
+        utilization = cluster.used_nodes / capacity
         return self.w1 * starvation + self.w2 * capability + self.w3 * utilization
 
 
@@ -158,7 +161,7 @@ def job_value(job: Job, objective: str, waiting: Sequence[Job],
     if objective == "capability":
         t_max = max((j.queued_time(now) for j in waiting), default=0.0)
         starve = job.queued_time(now) / t_max if t_max > 0 else 0.0
-        frac = job.size / cluster.num_nodes
+        frac = job.size / max(1, cluster.up_nodes)
         return w1 * starve + w2 * frac + w3 * frac
     if objective == "capacity":
         return 1.0 / max(job.walltime, 1.0)

@@ -74,13 +74,21 @@ class StateEncoder:
         return 2 + self.num_nodes
 
     # -- pieces ---------------------------------------------------------------
-    def job_block(self, job: Job, now: float) -> np.ndarray:
-        """The ``[2, 2]`` feature block of one job."""
+    def job_block(self, job: Job, now: float,
+                  capacity: int | None = None) -> np.ndarray:
+        """The ``[2, 2]`` feature block of one job.
+
+        ``capacity`` is the live node count used to normalize the size
+        feature; under fault injection the encoders pass the cluster's
+        current up-node count so a job's relative footprint reflects the
+        capacity that actually exists.  Defaults to the static ``N``.
+        """
         size = job.size
         walltime = job.walltime
         queued = job.queued_time(now)
         if self.normalize:
-            size = size / self.num_nodes
+            size = size / max(1, capacity if capacity is not None
+                              else self.num_nodes)
             walltime = walltime / self.time_scale
             queued = queued / self.time_scale
         return np.array(
@@ -111,8 +119,9 @@ class StateEncoder:
             )
         x = np.zeros((self.pg_rows, 2), dtype=np.float64)
         mask = np.zeros(self.window, dtype=bool)
+        capacity = cluster.up_nodes
         for i, job in enumerate(jobs):
-            x[2 * i : 2 * i + 2] = self.job_block(job, now)
+            x[2 * i : 2 * i + 2] = self.job_block(job, now, capacity)
             mask[i] = True
         x[2 * self.window :] = self.node_rows(cluster, now)
         return x, mask
@@ -120,7 +129,7 @@ class StateEncoder:
     def encode_job(self, job: Job, cluster: Cluster, now: float) -> np.ndarray:
         """DQL-style input for one job: ``[2 + N, 2]``."""
         x = np.empty((self.dql_rows, 2), dtype=np.float64)
-        x[:2] = self.job_block(job, now)
+        x[:2] = self.job_block(job, now, cluster.up_nodes)
         x[2:] = self.node_rows(cluster, now)
         return x
 
@@ -136,7 +145,8 @@ class StateEncoder:
             raise ValueError("empty job batch")
         batch = np.empty((len(jobs), self.dql_rows, 2), dtype=np.float64)
         nodes = self.node_rows(cluster, now)
+        capacity = cluster.up_nodes
         for i, job in enumerate(jobs):
-            batch[i, :2] = self.job_block(job, now)
+            batch[i, :2] = self.job_block(job, now, capacity)
             batch[i, 2:] = nodes
         return batch

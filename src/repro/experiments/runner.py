@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import (
+    faultsweep,
     fig2,
     fig3,
     fig4,
@@ -51,6 +52,7 @@ SPECS: tuple[ExperimentSpec, ...] = (
     ExperimentSpec("table4", table4.run, table4.report),
     ExperimentSpec("fig8", fig8.run, fig8.report),
     ExperimentSpec("fig9", fig9.run, fig9.report),
+    ExperimentSpec("faultsweep", faultsweep.run, faultsweep.report),
     ExperimentSpec(
         "overhead",
         lambda full_size=True, **_: overhead.run(full_size=full_size),

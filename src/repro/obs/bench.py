@@ -1,9 +1,10 @@
 """Perf-benchmark harness behind ``python -m repro bench``.
 
-Times the four hot paths every future optimization PR will fight over —
-the engine event loop, EASY-backfill candidate filtering, conservative
-free-capacity profile queries and the NN train step — on fixed seeded
-workloads, and writes machine-readable baselines:
+Times the hot paths every future optimization PR will fight over —
+the engine event loop (fault-free and under fault injection),
+EASY-backfill candidate filtering, conservative free-capacity profile
+queries and the NN train step — on fixed seeded workloads, and writes
+machine-readable baselines:
 
 * ``BENCH_sim.json`` — simulator benchmarks (``events_per_s``);
 * ``BENCH_nn.json`` — network benchmarks (``steps_per_s``).
@@ -120,6 +121,52 @@ def bench_engine_throughput(
         rate_key="events_per_s",
         rate=events / wall if wall > 0 else 0.0,
         extra={"num_nodes": num_nodes, "n_jobs": n_jobs, "policy": "fcfs"},
+    )
+
+
+def bench_engine_faulted(seed: int = 0, quick: bool = False) -> BenchResult:
+    """Engine throughput with fault injection enabled.
+
+    Same workload shape as :func:`bench_engine_throughput` but with a
+    :class:`~repro.sim.faults.FaultConfig` producing dozens of node
+    failures and job kills per run, exercising the fail/repair/kill
+    handlers, requeue bookkeeping and the per-node availability mask.
+    The fault rate is deliberately moderate: aggressive MTBFs stretch
+    the drain phase (killed work is redone on a degraded machine),
+    which would measure workload inflation rather than handler cost.
+    Events counted include the fault events (failures, repairs, kills)
+    on top of SUBMIT/FINISH, so the rate is comparable but not
+    identical to the fault-free benchmark.
+    """
+    from repro.schedulers.fcfs import FCFSEasy
+    from repro.sim.engine import run_simulation
+    from repro.sim.faults import FaultConfig
+
+    num_nodes = 64
+    n_jobs = 300 if quick else 1000
+    reps = 1 if quick else 3
+    jobs = _theta_jobs(num_nodes, n_jobs, seed)
+    faults = FaultConfig(mtbf=10_000.0, mttr=1500.0, blade_size=4,
+                         blade_prob=0.2, job_kill_mtbf=50_000.0,
+                         seed=seed, requeue="requeue-front")
+
+    wall = 0.0
+    events = 0
+    for _ in range(reps):
+        fresh = [j.copy_fresh() for j in jobs]
+        t0 = time.perf_counter()
+        result = run_simulation(num_nodes, FCFSEasy(), fresh, faults=faults)
+        wall += time.perf_counter() - t0
+        res = result.resilience
+        events += 2 * len(result.jobs) + 2 * res.node_failures + res.jobs_killed
+    return BenchResult(
+        name="engine-throughput-faulted",
+        reps=reps,
+        wall_s=wall,
+        rate_key="events_per_s",
+        rate=events / wall if wall > 0 else 0.0,
+        extra={"num_nodes": num_nodes, "n_jobs": n_jobs, "policy": "fcfs",
+               "mtbf": faults.mtbf, "mttr": faults.mttr},
     )
 
 
@@ -280,6 +327,7 @@ SIM_BENCHES: tuple[Callable[..., BenchResult], ...] = (
     lambda seed=0, quick=False: bench_engine_throughput(
         seed=seed, quick=quick, trace_to_null=True
     ),
+    bench_engine_faulted,
     bench_backfill,
     bench_conservative_profile,
 )

@@ -34,14 +34,22 @@ def train_with_curriculum(
     jobs_per_set: int | None = None,
     order: tuple[str, ...] = ("sampled", "real", "synthetic"),
     telemetry=None,
+    faults=None,
+    checkpoint_path=None,
+    checkpoint_every: int = 1,
+    history: TrainingHistory | None = None,
 ) -> TrainingHistory:
     """Train ``agent`` with the three-phase curriculum.
 
     Defaults mirror the Theta setup of §IV-D (9 sampled + 9 real + 82
     synthetic jobsets); experiments scale the counts down via the
     keyword arguments.  ``telemetry`` (a
-    :class:`~repro.rl.telemetry.TelemetryWriter` or path) is forwarded
-    to the :class:`~repro.rl.trainer.Trainer` for per-episode records.
+    :class:`~repro.rl.telemetry.TelemetryWriter` or path), ``faults``
+    (a :class:`~repro.sim.faults.FaultConfig`) and the checkpoint knobs
+    are forwarded to the :class:`~repro.rl.trainer.Trainer`; ``history``
+    resumes a checkpointed run (completed episodes are skipped, so the
+    curriculum must be regenerated with the *same* ``rng`` seed the
+    interrupted run used).
     """
     phases = three_phase_curriculum(
         model,
@@ -54,8 +62,10 @@ def train_with_curriculum(
         order=order,
     )
     trainer = Trainer(agent, model.num_nodes, validation_jobs=validation_jobs,
-                      telemetry=telemetry)
-    return trainer.train(_flatten(phases))
+                      telemetry=telemetry, faults=faults,
+                      checkpoint_path=checkpoint_path,
+                      checkpoint_every=checkpoint_every)
+    return trainer.train(_flatten(phases), history=history)
 
 
 def compare_phase_orders(

@@ -60,11 +60,21 @@ class TelemetryWriter:
             trainer.train(jobsets)
     """
 
-    def __init__(self, path: str | Path, meta: Mapping[str, Any] | None = None):
+    def __init__(self, path: str | Path, meta: Mapping[str, Any] | None = None,
+                 resume_at: int | None = None):
         self.path = Path(path)
-        self._fh = self.path.open("w", encoding="utf-8")
         self._closed = False
         self.n_written = 0
+        if resume_at is not None and self.path.exists():
+            # checkpoint resume: drop any records written after the
+            # checkpointed byte offset (they belong to lost episodes),
+            # then continue appending — no second meta header
+            fh = self.path.open("r+", encoding="utf-8")
+            fh.truncate(resume_at)
+            fh.seek(0, 2)  # to end-of-file after the truncation
+            self._fh = fh
+            return
+        self._fh = self.path.open("w", encoding="utf-8")
         header: dict[str, Any] = {"type": "meta", "schema": TELEMETRY_SCHEMA}
         if meta:
             header.update(meta)
@@ -83,6 +93,11 @@ class TelemetryWriter:
         doc["type"] = "episode"
         self._write_line(doc)
         self.n_written += 1
+
+    def offset(self) -> int:
+        """Current byte offset of the file (for checkpoint resume)."""
+        self._fh.flush()
+        return self._fh.tell()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""

@@ -10,6 +10,7 @@ validation reward plateaus.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -18,10 +19,12 @@ import numpy as np
 
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
+from repro.rl import checkpoint as _checkpoint
 from repro.rl import telemetry as _telemetry
 from repro.rl.meter import RewardMeter
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultConfig
 from repro.sim.job import Job
 from repro.sim.metrics import RunMetrics
 
@@ -92,6 +95,18 @@ class Trainer:
         learning-signal collectors (gradient-norm tracking on the
         optimizer, policy-entropy capture on the PG core) and writes
         one ``episode`` record per episode with anomaly flags attached.
+    checkpoint_path:
+        When set, a crash-safe resumable checkpoint
+        (:mod:`repro.rl.checkpoint`) is written atomically after every
+        ``checkpoint_every``-th completed episode.  Resume by loading
+        it and passing the restored agent + history back into
+        :meth:`train` (or ``train --resume`` on the CLI).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultConfig`: training
+        episodes run under fault injection (the fault seed is offset by
+        the episode index so every episode sees a fresh but
+        reproducible fault schedule); validation always replays the
+        base seed so scores stay comparable across episodes.
     """
 
     def __init__(
@@ -101,13 +116,23 @@ class Trainer:
         validation_jobs: list[Job] | None = None,
         snapshot_every: int = 1,
         telemetry: "_telemetry.TelemetryWriter | str | Path | None" = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+        faults: FaultConfig | None = None,
     ) -> None:
         if snapshot_every <= 0:
             raise ValueError("snapshot_every must be positive")
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
         self.agent = agent
         self.num_nodes = num_nodes
         self.validation_jobs = validation_jobs
         self.snapshot_every = snapshot_every
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.faults = faults
         #: always-on training statistics (episode counts, phase timers)
         self.metrics = MetricsRegistry()
         if isinstance(telemetry, (str, Path)):
@@ -155,8 +180,15 @@ class Trainer:
             stats["epsilon"] = float(epsilon)
         return stats
 
+    def _episode_faults(self, episode: int) -> FaultConfig | None:
+        """Per-episode fault config: base seed offset by episode index."""
+        if self.faults is None:
+            return None
+        return dataclasses.replace(self.faults,
+                                   seed=self.faults.seed + episode)
+
     # -- single pieces -----------------------------------------------------------
-    def run_episode(self, jobset: list[Job]) -> float:
+    def run_episode(self, jobset: list[Job], episode: int = 0) -> float:
         """One training episode; returns the total collected reward."""
         self.agent.train()
         meter = RewardMeter(self.agent.reward_fn)
@@ -165,6 +197,7 @@ class Trainer:
             self.agent,
             [j.copy_fresh() for j in jobset],
             observers=[meter],
+            faults=self._episode_faults(episode),
         )
         tracer = _trace.global_tracer()
         with self.metrics.timer("train.episode_s").time():
@@ -197,6 +230,7 @@ class Trainer:
             self.agent,
             [j.copy_fresh() for j in self.validation_jobs],
             observers=[meter],
+            faults=self.faults,
         )
         tracer = _trace.global_tracer()
         with self.metrics.timer("train.validate_s").time():
@@ -218,11 +252,23 @@ class Trainer:
         stop_on_convergence: bool = False,
         convergence_window: int = 5,
     ) -> TrainingHistory:
-        """Train over ``(phase_name, jobset)`` pairs in order."""
+        """Train over ``(phase_name, jobset)`` pairs in order.
+
+        When ``history`` already holds ``k`` episodes (a checkpoint
+        resume), the first ``k`` jobsets are skipped: they were
+        completed by the interrupted run and their effects live in the
+        restored agent state.
+        """
         history = history or TrainingHistory()
-        for phase, jobset in jobsets:
+        done = len(history.episodes)
+        if done > len(jobsets):
+            raise ValueError(
+                f"history already has {done} episodes but only "
+                f"{len(jobsets)} jobsets were supplied"
+            )
+        for phase, jobset in jobsets[done:]:
             episode = len(history.episodes)
-            train_reward = self.run_episode(jobset)
+            train_reward = self.run_episode(jobset, episode=episode)
             val_reward = self.validate()
             updates = getattr(self.agent, "updates_done", 0)
             history.episodes.append(
@@ -239,9 +285,32 @@ class Trainer:
                 self._emit_telemetry(history.episodes[-1])
             if episode % self.snapshot_every == 0:
                 history.snapshots.append(self.agent.state_dict())
+            if self.checkpoint_path is not None \
+                    and (episode + 1) % self.checkpoint_every == 0:
+                self._write_checkpoint(history)
             if stop_on_convergence and history.converged_at(convergence_window):
                 break
         return history
+
+    def _write_checkpoint(self, history: TrainingHistory) -> None:
+        """Atomically persist a resumable checkpoint of the run so far."""
+        assert self.checkpoint_path is not None
+        offset = 0
+        if self.telemetry is not None:
+            offset = self.telemetry.offset()
+        _checkpoint.save_checkpoint(
+            self.checkpoint_path,
+            self.agent,
+            [dataclasses.asdict(e) for e in history.episodes],
+            telemetry_offset=offset,
+            faults=self.faults,
+        )
+        self.metrics.counter("train.checkpoints").inc()
+        tracer = _trace.global_tracer()
+        if tracer is not None:
+            tracer.event("train.checkpoint",
+                         episode=len(history.episodes) - 1,
+                         path=str(self.checkpoint_path))
 
     def _emit_telemetry(self, stats: EpisodeStats) -> None:
         """Write one episode record; escalate hard anomalies afterwards.

@@ -22,6 +22,9 @@ Layout
 ``backfill``
     EASY-backfilling machinery: shadow time, extra nodes, candidate
     filtering.
+``faults``
+    Seeded fault injection: node failure/repair processes, job kills,
+    requeue policies, and resilience accounting.
 ``engine``
     The simulation engine that wires everything together and invokes a
     pluggable scheduling policy at every scheduling instance.
@@ -35,6 +38,7 @@ from repro.sim.cluster import Cluster
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.queue import WaitQueue
 from repro.sim.backfill import BackfillPlanner, Reservation
+from repro.sim.faults import FaultConfig, FaultInjector, ResilienceMetrics
 from repro.sim.engine import Action, ActionKind, Engine, SchedulingView, SimulationResult
 from repro.sim.metrics import MetricsRecorder, RunMetrics
 from repro.sim.observers import EventLog, QueueDepthRecorder, UtilizationTimeline
@@ -51,11 +55,14 @@ __all__ = [
     "EventLog",
     "EventQueue",
     "ExecMode",
+    "FaultConfig",
+    "FaultInjector",
     "Job",
     "JobState",
     "MetricsRecorder",
     "QueueDepthRecorder",
     "Reservation",
+    "ResilienceMetrics",
     "ResourceProfile",
     "RunMetrics",
     "SchedulingView",

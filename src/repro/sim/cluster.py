@@ -7,6 +7,12 @@ flag and the difference between the estimated available time and the
 current time (section III-A).  We store these as NumPy arrays so the
 state encoding, the shadow-time computation and utilization accounting
 are all vectorized.
+
+Fault support: nodes can be *down* (failed, awaiting repair).  A down
+node is neither free nor occupied by a job; its ``_avail_at`` entry
+holds the expected repair time, so the EASY shadow-time machinery and
+the RL node-state encoding treat it exactly like a busy node that
+frees at the repair — no policy needs fault-specific code.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from repro.check import sanitize as _san
 from repro.sim.job import Job
 
 _FREE = -1
+_DOWN = -2
 
 
 class Cluster:
@@ -35,15 +42,22 @@ class Cluster:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
         self.num_nodes = int(num_nodes)
         self._sanitize = sanitize
-        #: job id occupying each node, ``-1`` when free
+        #: job id occupying each node; ``-1`` free, ``-2`` down (failed)
         self._job_of = np.full(self.num_nodes, _FREE, dtype=np.int64)
-        #: estimated available time of each node (0 when free)
+        #: estimated available time of each node (0 when free); for a
+        #: down node this is the expected repair time
         self._avail_at = np.zeros(self.num_nodes, dtype=np.float64)
         #: job id -> allocated node indices
         self._alloc: dict[int, np.ndarray] = {}
         #: running node-seconds of *actual* useful work accumulated by
         #: finished jobs, used by utilization accounting.
         self._used_node_seconds = 0.0
+        #: node-seconds of partial work destroyed by fault kills
+        self._wasted_node_seconds = 0.0
+        #: node-seconds of capacity lost to completed down intervals
+        self._lost_node_seconds = 0.0
+        #: node index -> time it went down (open down intervals)
+        self._down_since: dict[int, float] = {}
 
     @property
     def sanitize_active(self) -> bool:
@@ -55,13 +69,37 @@ class Cluster:
     # -- queries -------------------------------------------------------------
     @property
     def available_nodes(self) -> int:
-        """Number of currently free nodes."""
+        """Number of currently free (up and unoccupied) nodes."""
         return int(np.count_nonzero(self._job_of == _FREE))
 
     @property
     def used_nodes(self) -> int:
-        """Number of currently occupied nodes (``N_used`` in Eq. (1))."""
-        return self.num_nodes - self.available_nodes
+        """Number of nodes occupied by jobs (``N_used`` in Eq. (1)).
+
+        Down nodes are neither used nor available; without faults this
+        equals ``num_nodes - available_nodes`` as before.
+        """
+        return int(np.count_nonzero(self._job_of >= 0))
+
+    @property
+    def down_nodes(self) -> int:
+        """Number of currently failed (down) nodes."""
+        return int(np.count_nonzero(self._job_of == _DOWN))
+
+    @property
+    def up_nodes(self) -> int:
+        """Live capacity: nodes not currently down.
+
+        This is the denominator of capacity-relative quantities (reward
+        utilization, state normalization) under faults; it equals
+        ``num_nodes`` whenever no fault model is active.
+        """
+        return self.num_nodes - self.down_nodes
+
+    @property
+    def down_mask(self) -> np.ndarray:
+        """Boolean per-node mask of currently-down nodes (a copy)."""
+        return self._job_of == _DOWN
 
     @property
     def running_job_ids(self) -> list[int]:
@@ -76,6 +114,11 @@ class Cluster:
         """Node indices allocated to a running job."""
         return self._alloc[job_id].copy()
 
+    def jobs_on(self, nodes: np.ndarray | list[int]) -> list[int]:
+        """Distinct job ids occupying any of ``nodes``, ascending."""
+        ids = np.unique(self._job_of[np.asarray(nodes, dtype=np.int64)])
+        return [int(j) for j in ids if j >= 0]
+
     def can_fit(self, size: int) -> bool:
         """Whether ``size`` nodes could be allocated right now."""
         return size <= self.available_nodes
@@ -86,7 +129,8 @@ class Cluster:
 
         Column 0 is the binary availability flag (1 free / 0 busy);
         column 1 is ``estimated_available_time - now`` for busy nodes and
-        0 for free nodes.
+        0 for free nodes.  A down node reads as busy until its expected
+        repair time.
         """
         free = self._job_of == _FREE
         state = np.zeros((self.num_nodes, 2), dtype=np.float64)
@@ -99,8 +143,9 @@ class Cluster:
         """Sorted estimated release times of busy nodes (>= ``now``).
 
         This is the input to the EASY shadow-time computation: assuming
-        every running job occupies its nodes until its walltime estimate,
-        when does each busy node come free?
+        every running job occupies its nodes until its walltime estimate
+        (and every down node until its expected repair), when does each
+        unavailable node come free?
         """
         busy = self._job_of != _FREE
         times = np.maximum(self._avail_at[busy], now)
@@ -165,6 +210,74 @@ class Cluster:
         if self.sanitize_active:
             _san.check_node_conservation(self, f"release(job {job.job_id})")
 
+    def release_killed(self, job: Job, now: float) -> np.ndarray:
+        """Free the nodes of a fault-killed job; its work is wasted.
+
+        Unlike :meth:`release`, the partial execution contributes to
+        :attr:`wasted_node_seconds` instead of the useful-work integral.
+        Returns the node indices the job held (so the caller can take a
+        failed subset down).
+        """
+        try:
+            nodes = self._alloc.pop(job.job_id)
+        except KeyError:
+            raise RuntimeError(f"job {job.job_id} is not allocated") from None
+        self._job_of[nodes] = _FREE
+        self._avail_at[nodes] = 0.0
+        if job.start_time is not None:
+            self._wasted_node_seconds += job.size * max(0.0, now - job.start_time)
+        if self.sanitize_active:
+            _san.check_node_conservation(self, f"release_killed(job {job.job_id})")
+        return nodes.copy()
+
+    # -- faults -----------------------------------------------------------------
+    def fail_nodes(self, nodes: np.ndarray | list[int], now: float,
+                   expected_up_at: float) -> None:
+        """Take currently-free ``nodes`` down until ``expected_up_at``.
+
+        Callers must evacuate occupying jobs first (the engine kills
+        them via :meth:`release_killed`); failing an occupied or
+        already-down node is a programming error and raises.
+        """
+        idx = np.asarray(nodes, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if expected_up_at < now:
+            raise ValueError(
+                f"expected_up_at {expected_up_at} precedes now {now}"
+            )
+        states = self._job_of[idx]
+        if np.any(states != _FREE):
+            bad = idx[states != _FREE]
+            raise RuntimeError(
+                f"cannot fail non-free node(s) {bad.tolist()} at t={now}"
+            )
+        self._job_of[idx] = _DOWN
+        self._avail_at[idx] = expected_up_at
+        for node in idx:
+            self._down_since[int(node)] = now
+        if self.sanitize_active:
+            _san.check_node_conservation(self, f"fail_nodes({idx.tolist()})")
+
+    def repair_nodes(self, nodes: np.ndarray | list[int], now: float) -> None:
+        """Bring down ``nodes`` back up, closing their downtime intervals."""
+        idx = np.asarray(nodes, dtype=np.int64)
+        if idx.size == 0:
+            return
+        states = self._job_of[idx]
+        if np.any(states != _DOWN):
+            bad = idx[states != _DOWN]
+            raise RuntimeError(
+                f"cannot repair node(s) {bad.tolist()} that are not down"
+            )
+        self._job_of[idx] = _FREE
+        self._avail_at[idx] = 0.0
+        for node in idx:
+            since = self._down_since.pop(int(node))
+            self._lost_node_seconds += max(0.0, now - since)
+        if self.sanitize_active:
+            _san.check_node_conservation(self, f"repair_nodes({idx.tolist()})")
+
     # -- utilization accounting ----------------------------------------------
     def used_node_seconds(self, running_jobs: dict[int, Job] | None = None,
                           now: float | None = None) -> float:
@@ -182,15 +295,35 @@ class Cluster:
                                         - job.start_time)
         return total
 
+    @property
+    def wasted_node_seconds(self) -> float:
+        """Node-seconds of partial work destroyed by fault kills."""
+        return self._wasted_node_seconds
+
+    def lost_node_seconds(self, until: float | None = None) -> float:
+        """Node-seconds of capacity lost to node downtime so far.
+
+        Completed down intervals are always included; ``until`` extends
+        the open intervals of still-down nodes to that time.
+        """
+        total = self._lost_node_seconds
+        if until is not None:
+            for since in self._down_since.values():
+                total += max(0.0, until - since)
+        return total
+
     def reset(self) -> None:
-        """Return the cluster to the all-idle initial state."""
+        """Return the cluster to the all-idle, all-up initial state."""
         self._job_of.fill(_FREE)
         self._avail_at.fill(0.0)
         self._alloc.clear()
         self._used_node_seconds = 0.0
+        self._wasted_node_seconds = 0.0
+        self._lost_node_seconds = 0.0
+        self._down_since.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Cluster(nodes={self.num_nodes}, free={self.available_nodes}, "
-            f"running={len(self._alloc)})"
+            f"running={len(self._alloc)}, down={self.down_nodes})"
         )

@@ -29,13 +29,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Protocol, Sequence
 
+import numpy as np
+
 from repro.check import sanitize as _san
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.backfill import BackfillPlanner, Reservation
 from repro.sim.cluster import Cluster
-from repro.sim.events import EventKind, EventQueue
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.faults import FaultConfig, FaultInjector, ResilienceMetrics
 from repro.sim.job import ExecMode, Job, JobState
 from repro.sim.queue import WaitQueue
 
@@ -67,6 +70,8 @@ class Observer(Protocol):
     def on_start(self, job: Job, now: float) -> None: ...
 
     def on_finish(self, job: Job, now: float) -> None: ...
+
+    def on_kill(self, job: Job, now: float) -> None: ...
 
     def on_instance(self, view: "SchedulingView", started: Sequence[Job]) -> None: ...
 
@@ -218,6 +223,8 @@ class SimulationResult:
     num_instances: int
     num_nodes: int
     actions: list[Action] = field(default_factory=list)
+    #: fault-impact summary; ``None`` when no fault model was active
+    resilience: ResilienceMetrics | None = None
 
     @property
     def finished_jobs(self) -> list[Job]:
@@ -266,6 +273,18 @@ class Engine:
         default) follows the process-global profiler
         (``REPRO_PROFILE=path`` env var).  Profiling is observe-only
         and bit-identical in simulated time, like tracing.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultConfig` activating the
+        seeded fault model (node failures/repairs, job kills, requeue).
+        The result then carries a
+        :class:`~repro.sim.faults.ResilienceMetrics` summary.
+    max_events:
+        Runaway guard: raise :class:`SimulationError` (with queue/clock
+        diagnostics) after processing this many events.  ``None``
+        disables the cap.
+    max_wall_s:
+        Runaway guard: raise :class:`SimulationError` once the run has
+        consumed this much wall-clock time.  ``None`` disables it.
     """
 
     def __init__(
@@ -279,6 +298,9 @@ class Engine:
         sanitize: bool | None = None,
         trace: "_trace.Tracer | str | Path | None" = None,
         profile: "_profile.Profiler | None" = None,
+        faults: FaultConfig | None = None,
+        max_events: int | None = None,
+        max_wall_s: float | None = None,
     ) -> None:
         self.cluster = cluster
         self._sanitize_flag = sanitize
@@ -295,10 +317,25 @@ class Engine:
         self.events = EventQueue()
         self.observers = list(observers)
         self.max_time = max_time
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        if max_wall_s is not None and max_wall_s <= 0:
+            raise ValueError(f"max_wall_s must be positive, got {max_wall_s}")
+        self.max_events = max_events
+        self.max_wall_s = max_wall_s
+        self.fault_config = faults
+        self.injector: FaultInjector | None = None
+        if faults is not None and faults.active:
+            self.injector = FaultInjector(faults)
         self.now = 0.0
         self.num_instances = 0
         self._jobs: dict[int, Job] = {}
         self._running: dict[int, Job] = {}
+        #: live FINISH event per running job, for fault cancellation
+        self._finish_events: dict[int, Event] = {}
+        #: jobs not yet FINISHED or FAILED; run loop termination under
+        #: recurring fault events (which never drain the event queue)
+        self._jobs_remaining = 0
         self._record_actions = record_actions
         self._actions: list[Action] = []
         #: always-on run statistics (cheap int/float updates only)
@@ -308,6 +345,9 @@ class Engine:
         self._m_instances = self.metrics.counter("engine.instances")
         self._m_starts = self.metrics.counter("engine.jobs_started")
         self._m_reservations = self.metrics.counter("engine.reservations")
+        self._m_node_fails = self.metrics.counter("engine.events_node_fail")
+        self._m_node_repairs = self.metrics.counter("engine.events_node_repair")
+        self._m_kills = self.metrics.counter("engine.jobs_killed")
         self._m_queue_depth = self.metrics.gauge("engine.queue_depth")
         self._m_schedule = self.metrics.timer("engine.schedule_s")
         #: tracer resolved at the top of :meth:`run` (None when off)
@@ -363,7 +403,9 @@ class Engine:
         self.cluster.allocate(job, self.now)
         job.mark_started(self.now, mode)
         self._running[job.job_id] = job
-        self.events.push(self.now + job.runtime, EventKind.FINISH, job.job_id)
+        self._finish_events[job.job_id] = self.events.push(
+            self.now + job.runtime, EventKind.FINISH, job.job_id
+        )
         self._record(Action(ActionKind.START, job.job_id, self.now, mode))
         self._m_starts.value += 1
         if self._run_tracer is not None:
@@ -380,6 +422,8 @@ class Engine:
         self.cluster.release(job)
         job.mark_finished(self.now)
         del self._running[job.job_id]
+        self._finish_events.pop(job.job_id, None)
+        self._jobs_remaining -= 1
         self.queue.notify_finished(job)
         if self._run_tracer is not None:
             self._run_tracer.event(
@@ -395,6 +439,93 @@ class Engine:
         """Snapshot of currently running jobs, keyed by job id."""
         return dict(self._running)
 
+    # -- fault handling ----------------------------------------------------------
+    def _kill_job(self, job: Job, cause: str) -> None:
+        """Abort a running job because of a fault; requeue or abandon it."""
+        inj = self.injector
+        assert inj is not None
+        self.events.cancel(self._finish_events.pop(job.job_id))
+        self.cluster.release_killed(job, self.now)
+        del self._running[job.job_id]
+        cfg = inj.config
+        requeue = cfg.requeue != "abandon" and (
+            cfg.max_requeues is None or job.times_killed < cfg.max_requeues
+        )
+        job.mark_killed(self.now, requeue=requeue)
+        inj.counters.jobs_killed += 1
+        self._m_kills.value += 1
+        if requeue:
+            self.queue.requeue(job, front=cfg.requeue == "requeue-front")
+            inj.counters.requeues += 1
+        else:
+            inj.counters.abandons += 1
+            self._jobs_remaining -= 1
+            for doomed in self.queue.notify_failed(job):
+                doomed.mark_abandoned()
+                inj.counters.abandons += 1
+                self._jobs_remaining -= 1
+                if self._run_tracer is not None:
+                    self._run_tracer.event(
+                        "engine.job_abandon", t=self.now,
+                        job=doomed.job_id, parent=job.job_id,
+                    )
+        if self._run_tracer is not None:
+            self._run_tracer.event(
+                "engine.job_kill", t=self.now, job=job.job_id,
+                cause=cause, requeued=requeue,
+                wasted=job.wasted_node_seconds,
+            )
+        for obs in self.observers:
+            handler = getattr(obs, "on_kill", None)
+            if handler is not None:
+                handler(job, self.now)
+
+    def _handle_node_fail(self) -> None:
+        """One failure event: pick victims, evacuate, mark down, reschedule."""
+        inj = self.injector
+        assert inj is not None
+        self._m_node_fails.value += 1
+        n_nodes, repairs = inj.sample_failure()
+        up = np.flatnonzero(~self.cluster.down_mask)
+        victims = inj.choose_failed_nodes(up, n_nodes)
+        killed = self.cluster.jobs_on(victims)
+        for job_id in killed:
+            self._kill_job(self._jobs[job_id], cause="node_fail")
+        inj.counters.node_failures += 1
+        for node, repair in zip(victims.tolist(), repairs):
+            up_at = self.now + repair
+            self.cluster.fail_nodes([node], self.now, up_at)
+            self.events.push(up_at, EventKind.NODE_REPAIR, node=node)
+            inj.counters.nodes_failed += 1
+        if self._run_tracer is not None:
+            self._run_tracer.event(
+                "engine.node_fail", t=self.now, nodes=victims.tolist(),
+                killed=killed,
+            )
+        self.events.push(self.now + inj.next_failure_gap(), EventKind.NODE_FAIL)
+
+    def _handle_node_repair(self, event: Event) -> None:
+        """Bring one node back up at its scheduled repair time."""
+        inj = self.injector
+        assert inj is not None
+        self.cluster.repair_nodes([event.node], self.now)
+        inj.counters.node_repairs += 1
+        self._m_node_repairs.value += 1
+        if self._run_tracer is not None:
+            self._run_tracer.event(
+                "engine.node_repair", t=self.now, node=event.node,
+            )
+
+    def _handle_job_kill(self) -> None:
+        """One job-kill fault: abort a uniformly-chosen running job."""
+        inj = self.injector
+        assert inj is not None
+        running = sorted(self._running)
+        if running:
+            victim = inj.choose_victim(running)
+            self._kill_job(self._jobs[victim], cause="job_kill")
+        self.events.push(self.now + inj.next_kill_gap(), EventKind.JOB_KILL)
+
     # -- main loop -----------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Replay the jobset to completion and return the result."""
@@ -404,12 +535,24 @@ class Engine:
         self.now = 0.0
         self.num_instances = 0
         self._actions = []
+        self._finish_events = {}
+        self._jobs_remaining = len(self._jobs)
 
         first_submit = 0.0
         if self._jobs:
             first_submit = min(j.submit_time for j in self._jobs.values())
         for job in self._jobs.values():
             self.events.push(job.submit_time, EventKind.SUBMIT, job.job_id)
+
+        inj = self.injector
+        if inj is not None and self._jobs:
+            inj.reset()
+            if inj.config.mtbf > 0:
+                self.events.push(first_submit + inj.next_failure_gap(),
+                                 EventKind.NODE_FAIL)
+            if inj.config.job_kill_mtbf > 0:
+                self.events.push(first_submit + inj.next_kill_gap(),
+                                 EventKind.JOB_KILL)
 
         hook = getattr(self.scheduler, "on_simulation_start", None)
         if hook is not None:
@@ -427,14 +570,28 @@ class Engine:
         if isinstance(sched_metrics, MetricsRegistry):
             sched_metrics.alias("schedule_s", self._m_schedule)
             sched_metrics.alias("instances", self._m_instances)
+        events_seen = 0
+        wall_start = _perf_counter() if self.max_wall_s is not None else 0.0
         try:
             if prof is not None:
                 prof.push("engine.run")
-            while self.events:
+            while self.events and self._jobs_remaining > 0:
                 if self.max_time is not None \
                         and self.events.peek().time > self.max_time:
                     break
                 batch = self.events.pop_simultaneous()
+                events_seen += len(batch)
+                if self.max_events is not None and events_seen > self.max_events:
+                    raise SimulationError(self._runaway_diagnostics(
+                        f"processed {events_seen} events "
+                        f"(max_events={self.max_events})", batch[0].time,
+                    ))
+                if self.max_wall_s is not None \
+                        and _perf_counter() - wall_start > self.max_wall_s:
+                    raise SimulationError(self._runaway_diagnostics(
+                        f"exceeded the {self.max_wall_s}s wall-clock "
+                        f"deadline after {events_seen} events", batch[0].time,
+                    ))
                 if sanitize_active:
                     _san.check_monotonic_time(self.now, batch[0].time)
                 self.now = batch[0].time
@@ -444,13 +601,29 @@ class Engine:
                     span = tracer.begin("engine.instance", t=self.now,
                                         batch=len(batch))
                 for event in batch:
-                    job = self._jobs[event.job_id]
-                    if event.kind is EventKind.FINISH:
+                    kind = event.kind
+                    if kind is EventKind.FINISH:
                         self._m_finishes.value += 1
-                        self._finish_job(job)
-                    else:
+                        self._finish_job(self._jobs[event.job_id])
+                    elif kind is EventKind.SUBMIT:
                         self._m_submits.value += 1
-                        self.queue.submit(job)
+                        job = self._jobs[event.job_id]
+                        if not self.queue.submit(job):
+                            # a dependency already FAILED: the job can
+                            # never run
+                            job.mark_abandoned()
+                            self._jobs_remaining -= 1
+                            if self.injector is not None:
+                                self.injector.counters.abandons += 1
+                            if tracer is not None:
+                                tracer.event("engine.job_abandon", t=self.now,
+                                             job=job.job_id, parent=-1)
+                    elif kind is EventKind.NODE_REPAIR:
+                        self._handle_node_repair(event)
+                    elif kind is EventKind.NODE_FAIL:
+                        self._handle_node_fail()
+                    else:  # EventKind.JOB_KILL
+                        self._handle_job_kill()
                 self._run_instance()
                 if tracer is not None:
                     tracer.end(span)
@@ -477,6 +650,10 @@ class Engine:
         if hook is not None:
             hook(self)
 
+        resilience = None
+        if self.injector is not None:
+            resilience = self._summarize_resilience(first_submit)
+
         return SimulationResult(
             jobs=list(self._jobs.values()),
             makespan=self.now,
@@ -484,6 +661,36 @@ class Engine:
             num_instances=self.num_instances,
             num_nodes=self.cluster.num_nodes,
             actions=self._actions,
+            resilience=resilience,
+        )
+
+    def _runaway_diagnostics(self, what: str, event_time: float) -> str:
+        """Build the runaway-guard error message with loop diagnostics."""
+        return (
+            f"runaway simulation: {what}; clock at t={event_time}, "
+            f"{len(self.queue)} waiting / {self.queue.total_pending} pending "
+            f"jobs, {len(self._running)} running, {self._jobs_remaining} "
+            f"jobs unfinished, {len(self.events)} events still queued"
+        )
+
+    def _summarize_resilience(self, first_submit: float) -> ResilienceMetrics:
+        """Fold the fault counters and cluster accounting into a summary."""
+        assert self.injector is not None
+        c = self.injector.counters
+        elapsed = max(0.0, self.now - first_submit)
+        lost = self.cluster.lost_node_seconds(until=self.now)
+        capacity = self.cluster.num_nodes * elapsed - lost
+        used = self.cluster.used_node_seconds()
+        return ResilienceMetrics(
+            node_failures=c.node_failures,
+            nodes_failed=c.nodes_failed,
+            node_repairs=c.node_repairs,
+            jobs_killed=c.jobs_killed,
+            requeues=c.requeues,
+            abandoned=c.abandons,
+            lost_node_seconds=lost,
+            wasted_node_seconds=self.cluster.wasted_node_seconds,
+            degraded_utilization=used / capacity if capacity > 0 else 0.0,
         )
 
     def _run_instance(self) -> None:
@@ -533,6 +740,9 @@ def run_simulation(
     sanitize: bool | None = None,
     trace: "_trace.Tracer | str | Path | None" = None,
     profile: "_profile.Profiler | None" = None,
+    faults: FaultConfig | None = None,
+    max_events: int | None = None,
+    max_wall_s: float | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a cluster + engine and run it."""
     cluster = Cluster(num_nodes, sanitize=sanitize)
@@ -546,5 +756,8 @@ def run_simulation(
         sanitize=sanitize,
         trace=trace,
         profile=profile,
+        faults=faults,
+        max_events=max_events,
+        max_wall_s=max_wall_s,
     )
     return engine.run()

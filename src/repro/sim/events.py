@@ -4,6 +4,10 @@ A binary heap orders events by ``(time, priority, sequence)``.  The
 sequence number makes the ordering total and deterministic, which keeps
 whole simulations reproducible bit-for-bit — essential for RL training
 (same seed, same trajectory) and for regression tests.
+
+Events can be *cancelled* after being scheduled (lazy deletion): a job
+killed by a node failure leaves a stale ``FINISH`` event in the heap,
+which the queue silently discards when it reaches the top.
 """
 
 from __future__ import annotations
@@ -20,26 +24,38 @@ class EventKind(enum.IntEnum):
     The integer values double as tie-breaking priorities for events at
     the same timestamp: completions are processed before arrivals so a
     job finishing at time *t* frees its nodes before jobs arriving at
-    *t* are considered.
+    *t* are considered.  Node repairs likewise restore capacity before
+    arrivals are considered, while failures strike *after* completions
+    and arrivals at the same instant — a job that finishes exactly when
+    its node dies is credited with its work, matching the graceful
+    interpretation used by production resource managers.
     """
 
     FINISH = 0
-    SUBMIT = 1
+    NODE_REPAIR = 1
+    SUBMIT = 2
+    NODE_FAIL = 3
+    JOB_KILL = 4
 
 
 @dataclass(order=True)
 class Event:
-    """One timestamped occurrence (job finish or submit).
+    """One timestamped occurrence (job finish/submit, node fail/repair).
 
     Ordering is ``(time, kind, seq)``: finishes sort before submits at
     the same timestamp, and ``seq`` breaks remaining ties by insertion
-    order, keeping the heap deterministic.
+    order, keeping the heap deterministic.  ``job_id`` carries the
+    subject job for job events and ``node`` the subject node for node
+    events; the unused field stays ``-1``.  ``cancelled`` marks an
+    event as dead without removing it from the heap.
     """
 
     time: float
     kind: EventKind
     seq: int = field(compare=True)
     job_id: int = field(compare=False, default=-1)
+    node: int = field(compare=False, default=-1)
+    cancelled: bool = field(compare=False, default=False)
 
 
 class EventQueue:
@@ -48,50 +64,75 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        self._live = 0
 
-    def push(self, time: float, kind: EventKind, job_id: int) -> Event:
+    def push(self, time: float, kind: EventKind, job_id: int = -1,
+             node: int = -1) -> Event:
         """Schedule an event; returns the stored :class:`Event`."""
         if time < 0:
             raise ValueError(f"event time must be >= 0, got {time}")
-        event = Event(float(time), kind, next(self._seq), job_id)
+        event = Event(float(time), kind, next(self._seq), job_id, node)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
+    def cancel(self, event: Event) -> None:
+        """Mark a scheduled event as dead (lazily removed on pop).
+
+        Cancelling an already-cancelled event is a no-op, so callers do
+        not need to track whether a handle was invalidated before.
+        """
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def _prune(self) -> None:
+        """Drop cancelled events from the top of the heap."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
     def pop(self) -> Event:
-        """Remove and return the earliest event."""
+        """Remove and return the earliest live event."""
+        self._prune()
         if not self._heap:
             raise IndexError("pop from empty event queue")
+        self._live -= 1
         return heapq.heappop(self._heap)
 
     def peek(self) -> Event:
-        """Return the earliest event without removing it."""
+        """Return the earliest live event without removing it."""
+        self._prune()
         if not self._heap:
             raise IndexError("peek at empty event queue")
         return self._heap[0]
 
     def pop_simultaneous(self) -> list[Event]:
-        """Pop every event sharing the earliest timestamp.
+        """Pop every live event sharing the earliest timestamp.
 
         The simulator treats all events at one timestamp as a single
         scheduling instance: first apply all completions and arrivals,
         then invoke the policy once.
         """
-        if not self._heap:
+        if not self:
             raise IndexError("pop from empty event queue")
         first = self.pop()
         batch = [first]
-        # stored-value equality: both sides are the same pushed float,
-        # not recomputed arithmetic
-        while self._heap and self._heap[0].time == first.time:  # repro: noqa[float-time-eq]
+        while True:
+            self._prune()
+            # stored-value equality: both sides are the same pushed
+            # float, not recomputed arithmetic
+            if not self._heap or self._heap[0].time != first.time:  # repro: noqa[float-time-eq]
+                break
             batch.append(self.pop())
         return batch
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._live > 0
 
     def clear(self) -> None:
         """Drop all pending events."""
         self._heap.clear()
+        self._live = 0

@@ -22,6 +22,7 @@ class JobState(enum.Enum):
     WAITING = "waiting"      #: in the wait queue, eligible for scheduling
     RUNNING = "running"      #: allocated and executing
     FINISHED = "finished"    #: completed (or killed at its walltime)
+    FAILED = "failed"        #: lost to a fault and not requeued (abandoned)
 
 
 class ExecMode(enum.Enum):
@@ -81,6 +82,10 @@ class Job:
     #: set once the job has ever held the backfill reservation; used for
     #: execution-mode attribution (Table IV).
     ever_reserved: bool = field(default=False, compare=False)
+    #: times this job was killed by a fault (node failure or job kill)
+    times_killed: int = field(default=0, compare=False)
+    #: node-seconds of partial work lost to fault kills (wasted work)
+    wasted_node_seconds: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -156,6 +161,42 @@ class Job:
             raise RuntimeError(f"job {self.job_id} cannot finish from state {self.state}")
         self.state = JobState.FINISHED
         self.end_time = float(now)
+
+    def mark_killed(self, now: float, requeue: bool) -> None:
+        """A fault killed this running job at ``now``.
+
+        The partial work (``size * elapsed``) is accounted as wasted.
+        With ``requeue`` the job returns to WAITING with a clean start
+        (it restarts from scratch later); otherwise it becomes FAILED
+        and never runs again.
+        """
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(
+                f"job {self.job_id} cannot be killed from state {self.state}"
+            )
+        assert self.start_time is not None
+        self.wasted_node_seconds += self.size * max(0.0, now - self.start_time)
+        self.times_killed += 1
+        if requeue:
+            self.state = JobState.WAITING
+            self.start_time = None
+            self.mode = None
+        else:
+            self.state = JobState.FAILED
+            self.end_time = float(now)
+
+    def mark_abandoned(self) -> None:
+        """A fault made this non-running job permanently unrunnable.
+
+        Used for held/pending dependents of a FAILED job (dependency
+        cancellation): they never held nodes, so there is no wasted
+        work to account.
+        """
+        if self.state in (JobState.RUNNING, JobState.FINISHED):
+            raise RuntimeError(
+                f"job {self.job_id} cannot be abandoned from state {self.state}"
+            )
+        self.state = JobState.FAILED
 
     def copy_fresh(self) -> "Job":
         """Return a pristine copy with all lifecycle state reset.

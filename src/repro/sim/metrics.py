@@ -232,6 +232,11 @@ class MetricsRecorder:
         self._advance(now, self._last_used)
         self._last_used -= job.size
 
+    def on_kill(self, job: Job, now: float) -> None:
+        """Observer hook: a fault kill frees the job's nodes like a finish."""
+        self._advance(now, self._last_used)
+        self._last_used -= job.size
+
     def on_instance(self, view: SchedulingView, started) -> None:
         """Observer hook: sample utilization at each scheduling instance."""
         self.instance_utilizations.append(

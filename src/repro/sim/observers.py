@@ -76,6 +76,10 @@ class UtilizationTimeline:
         """Observer hook: occupancy step down by ``job.size``."""
         self._record(now, self._used[-1] - job.size)
 
+    def on_kill(self, job: Job, now: float) -> None:
+        """Observer hook: a fault kill also releases the job's nodes."""
+        self._record(now, self._used[-1] - job.size)
+
     def utilization_between(self, t0: float, t1: float) -> float:
         """Exact time-weighted utilization over ``[t0, t1]``."""
         if t1 <= t0:
@@ -100,7 +104,7 @@ class LoggedEvent:
     """One start or finish, as recorded by :class:`EventLog`."""
 
     time: float
-    kind: str           #: "start" | "finish"
+    kind: str           #: "start" | "finish" | "kill"
     job_id: int
     size: int
     mode: str | None = None
@@ -122,6 +126,10 @@ class EventLog:
     def on_finish(self, job: Job, now: float) -> None:
         """Observer hook: append a ``finish`` record."""
         self.events.append(LoggedEvent(now, "finish", job.job_id, job.size))
+
+    def on_kill(self, job: Job, now: float) -> None:
+        """Observer hook: append a ``kill`` record (fault-aborted job)."""
+        self.events.append(LoggedEvent(now, "kill", job.job_id, job.size))
 
     def starts(self) -> list[LoggedEvent]:
         """Only the ``start`` records, in time order."""

@@ -25,18 +25,46 @@ class WaitQueue:
         self._held: list[Job] = []
         #: ids of all finished jobs, for dependency resolution
         self._finished: set[int] = set()
+        #: ids of jobs lost to faults (FAILED); their dependents can
+        #: never become eligible
+        self._dead: set[int] = set()
 
     # -- submission / release ---------------------------------------------
-    def submit(self, job: Job) -> None:
-        """Add a newly arrived job, holding it if dependencies are open."""
+    def submit(self, job: Job) -> bool:
+        """Add a newly arrived job, holding it if dependencies are open.
+
+        Returns ``False`` (without enqueueing) when a dependency has
+        already FAILED — the job can never become eligible and the
+        caller decides its fate (the engine abandons it).
+        """
         if job.state not in (JobState.PENDING,):
             raise RuntimeError(f"job {job.job_id} resubmitted (state {job.state})")
+        if self._deps_dead(job):
+            self._dead.add(job.job_id)
+            return False
         if self._deps_met(job):
             job.state = JobState.WAITING
             self._waiting.append(job)
         else:
             job.state = JobState.HELD
             self._held.append(job)
+        return True
+
+    def requeue(self, job: Job, front: bool) -> None:
+        """Return a fault-killed job (already back in WAITING) to the queue.
+
+        ``front`` inserts it at the head (it keeps its accumulated
+        seniority and runs again as soon as possible); otherwise it
+        joins the tail like a fresh arrival.
+        """
+        if job.state is not JobState.WAITING:
+            raise RuntimeError(
+                f"job {job.job_id} cannot be requeued from state {job.state}"
+            )
+        if front:
+            self._waiting.insert(0, job)
+        else:
+            self._waiting.append(job)
 
     def notify_finished(self, job: Job) -> None:
         """Record a completion and release any dependents it unblocks.
@@ -54,8 +82,33 @@ class WaitQueue:
             j.state = JobState.WAITING
             self._waiting.append(j)
 
+    def notify_failed(self, job: Job) -> list[Job]:
+        """Record a fault-abandoned job and cascade to doomed dependents.
+
+        A held job whose dependency FAILED can never become eligible;
+        it (and, transitively, its own dependents) are removed from the
+        held list and returned in ``(submit_time, job_id)`` order so the
+        engine can mark them abandoned and account for them.  Returns an
+        empty list when nothing depended on the failed job.
+        """
+        self._dead.add(job.job_id)
+        doomed: list[Job] = []
+        while True:
+            newly = [j for j in self._held if self._deps_dead(j)]
+            if not newly:
+                break
+            self._held = [j for j in self._held if not self._deps_dead(j)]
+            for j in newly:
+                self._dead.add(j.job_id)
+            doomed.extend(newly)
+        doomed.sort(key=lambda j: (j.submit_time, j.job_id))
+        return doomed
+
     def _deps_met(self, job: Job) -> bool:
         return all(dep in self._finished for dep in job.dependencies)
+
+    def _deps_dead(self, job: Job) -> bool:
+        return any(dep in self._dead for dep in job.dependencies)
 
     # -- scheduling access ---------------------------------------------------
     def remove(self, job: Job) -> None:
@@ -93,7 +146,8 @@ class WaitQueue:
         return job in self._waiting
 
     def clear(self) -> None:
-        """Drop all queued, held, and finished bookkeeping."""
+        """Drop all queued, held, finished, and failed bookkeeping."""
         self._waiting.clear()
         self._held.clear()
         self._finished.clear()
+        self._dead.clear()

@@ -16,7 +16,13 @@ Poisson-*sampled* jobsets, chunks of the *real* (or model-generated
 reference) trace, and fully *synthetic* jobsets.
 """
 
-from repro.workload.swf import read_swf, write_swf
+from repro.workload.swf import (
+    SWFParseReport,
+    SWFWarning,
+    read_swf,
+    read_swf_report,
+    write_swf,
+)
 from repro.workload.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.workload.generator import (
     CategoricalSizes,
@@ -43,6 +49,8 @@ __all__ = [
     "SECONDS_PER_HOUR",
     "LognormalRuntimes",
     "PoissonArrivals",
+    "SWFParseReport",
+    "SWFWarning",
     "ThetaModel",
     "TraceStats",
     "WorkloadModel",
@@ -50,6 +58,7 @@ __all__ = [
     "fit_model",
     "normalize_times",
     "read_swf",
+    "read_swf_report",
     "real_jobsets",
     "sampled_jobset",
     "size_category_shares",

@@ -104,6 +104,52 @@ class TestCorruptJobState:
         assert len(result.finished_jobs) == 1
 
 
+class TestRunawayGuards:
+    def test_max_events_aborts_with_diagnostics(self):
+        jobs = [make_job(size=1, walltime=10.0, submit=float(i))
+                for i in range(20)]
+        with pytest.raises(SimulationError, match="runaway simulation"):
+            run_simulation(4, FCFSEasy(), jobs, max_events=5)
+
+    def test_max_events_diagnostics_include_loop_state(self):
+        jobs = [make_job(size=1, walltime=10.0, submit=float(i))
+                for i in range(20)]
+        with pytest.raises(SimulationError) as excinfo:
+            run_simulation(4, FCFSEasy(), jobs, max_events=5)
+        message = str(excinfo.value)
+        assert "clock at t=" in message
+        assert "jobs unfinished" in message
+
+    def test_generous_max_events_does_not_trip(self):
+        jobs = [make_job(size=1, walltime=10.0, submit=float(i))
+                for i in range(5)]
+        result = run_simulation(4, FCFSEasy(), jobs, max_events=1000)
+        assert len(result.finished_jobs) == 5
+
+    def test_wall_clock_deadline_aborts(self):
+        class Sleeper(BaseScheduler):
+            name = "sleeper"
+
+            def schedule(self, view):
+                import time
+
+                time.sleep(0.05)
+                for job in view.waiting():
+                    if job.size <= view.free_nodes:
+                        view.start(job)
+
+        jobs = [make_job(size=1, walltime=10.0, submit=float(i))
+                for i in range(50)]
+        with pytest.raises(SimulationError, match="wall-clock"):
+            run_simulation(4, Sleeper(), jobs, max_wall_s=0.01)
+
+    def test_invalid_guard_values_rejected(self):
+        with pytest.raises(ValueError, match="max_events"):
+            Engine(Cluster(4), FCFSEasy(), [make_job(size=1)], max_events=0)
+        with pytest.raises(ValueError, match="max_wall_s"):
+            Engine(Cluster(4), FCFSEasy(), [make_job(size=1)], max_wall_s=-1.0)
+
+
 class TestNumericRobustness:
     def test_agent_survives_pathological_feature_scales(self):
         """Seconds-scale vs hours-scale time units must not produce NaNs."""

@@ -110,3 +110,67 @@ class TestErrors:
         np.savez(path, __meta__=np.array(json.dumps({"format_version": 99})))
         with pytest.raises(ValueError, match="format"):
             load_agent(path)
+
+
+class TestDurability:
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        from repro.core.persistence import CheckpointError
+
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_agent(tmp_path / "nope.npz")
+
+    def test_truncated_file_raises_checkpoint_error(self, tmp_path):
+        """A clipped checkpoint (simulated torn write) must fail loudly."""
+        from repro.core.persistence import CheckpointError
+
+        path = tmp_path / "a.npz"
+        save_agent(DRASPG(small_config()), path)
+        blob = path.read_bytes()
+        for cut in (len(blob) // 2, len(blob) - 10, 3):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(CheckpointError,
+                               match="truncated or corrupted|incomplete"):
+                load_agent(path)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        from repro.core.persistence import CheckpointError
+
+        path = tmp_path / "a.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(CheckpointError):
+            load_agent(path)
+
+    def test_non_checkpoint_npz_raises_checkpoint_error(self, tmp_path):
+        """A valid npz missing the checkpoint keys is rejected, not KeyError."""
+        from repro.core.persistence import CheckpointError
+
+        path = tmp_path / "a.npz"
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(CheckpointError, match="incomplete or corrupted"):
+            load_agent(path)
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_agent(DRASPG(small_config()), path)
+        assert path.exists()
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "a.npz"]
+        assert leftovers == []
+
+    def test_overwrite_preserves_old_on_save_failure(self, tmp_path):
+        """A failed re-save must leave the previous checkpoint readable."""
+        from repro.core import persistence
+
+        path = tmp_path / "a.npz"
+        agent = DRASPG(small_config())
+        save_agent(agent, path)
+        before = path.read_bytes()
+
+        class Boom:
+            def __array__(self, dtype=None, copy=None):
+                raise RuntimeError("boom")
+
+        bad = {"x": Boom()}
+        with pytest.raises(RuntimeError, match="boom"):
+            persistence.atomic_savez(path, bad)
+        assert path.read_bytes() == before
+        load_agent(path)  # still a valid checkpoint

@@ -200,11 +200,11 @@ class TestTrainerIntegration:
         calls = {"n": 0}
         original = trainer.run_episode
 
-        def crashing(jobset):
+        def crashing(jobset, episode=0):
             if calls["n"] == 2:
                 raise RuntimeError("simulated crash")
             calls["n"] += 1
-            return original(jobset)
+            return original(jobset, episode=episode)
 
         trainer.run_episode = crashing
         with pytest.raises(RuntimeError, match="simulated crash"):

@@ -28,7 +28,7 @@ class TestRunAll:
         assert set(ids) == {
             "table1", "table2", "table3", "table4",
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "overhead",
+            "faultsweep", "overhead",
         }
 
     def test_workload_experiments_at_tiny(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workload.swf import read_swf, write_swf
+from repro.workload.swf import SWFWarning, read_swf, read_swf_report, write_swf
 from tests.conftest import make_job
 
 
@@ -63,6 +63,76 @@ class TestRead:
         path.write_text("1 2 3\n")
         with pytest.raises(ValueError, match="expected 18 fields"):
             read_swf(path)
+
+    def test_non_numeric_field_raises_with_position(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(_swf_line() + "\n" + _swf_line(job_id="oops") + "\n")
+        with pytest.raises(ValueError, match=r"t\.swf:2"):
+            read_swf(path)
+
+
+class TestLenientRead:
+    def test_malformed_lines_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(
+            "; header\n"
+            + _swf_line(job_id=1) + "\n"
+            + "1 2 3\n"                          # too few fields
+            + _swf_line(job_id="oops") + "\n"    # non-numeric job id
+            + _swf_line(job_id=2) + "\n"
+        )
+        with pytest.warns(SWFWarning, match="2 malformed"):
+            jobs, report = read_swf_report(path, strict=False)
+        assert [j.job_id for j in jobs] == [1, 2]
+        assert report.parsed_jobs == 2
+        assert report.comment_lines == 1
+        assert report.n_malformed == 2
+        assert [lineno for lineno, _ in report.malformed] == [3, 4]
+        assert "expected 18 fields" in report.malformed[0][1]
+
+    def test_clean_file_produces_no_warning(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "t.swf"
+        path.write_text(_swf_line() + "\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            jobs, report = read_swf_report(path, strict=False)
+        assert len(jobs) == 1 and report.n_malformed == 0
+
+    def test_skipped_records_counted_separately(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(_swf_line(run_time=0) + "\n" + _swf_line(job_id=2) + "\n")
+        jobs, report = read_swf_report(path, strict=False)
+        assert [j.job_id for j in jobs] == [2]
+        assert report.skipped_records == 1
+        assert report.n_malformed == 0
+
+    def test_strict_mode_still_raises_via_report_api(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("broken\n")
+        with pytest.raises(ValueError, match="expected 18 fields"):
+            read_swf_report(path, strict=True)
+
+    def test_report_detail_capped(self, tmp_path):
+        from repro.workload.swf import _MAX_REPORTED_LINES
+
+        path = tmp_path / "t.swf"
+        bad = _MAX_REPORTED_LINES + 5
+        path.write_text("x y z\n" * bad + _swf_line() + "\n")
+        with pytest.warns(SWFWarning, match="and 5 more"):
+            jobs, report = read_swf_report(path, strict=False)
+        assert len(jobs) == 1
+        assert report.n_malformed == bad
+        assert len(report.malformed) == _MAX_REPORTED_LINES
+
+    def test_summary_mentions_path_and_counts(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(_swf_line() + "\nnope\n")
+        with pytest.warns(SWFWarning):
+            _, report = read_swf_report(path, strict=False)
+        text = report.summary()
+        assert "t.swf" in text and "1 jobs" in text and "1 malformed" in text
 
     def test_zero_runtime_record_skipped(self, tmp_path):
         path = tmp_path / "t.swf"
