@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate the committed performance baselines in one shot.
+
+Two artifacts at the repo root feed the perf tooling:
+
+* ``profile_baseline.json`` — deterministic profiler scope counts from
+  the canonical workload.  The *calls* counts anchor the RPR5xx
+  hotness model (``repro check --strict``); they are machine-stable,
+  so this file only needs refreshing when the instrumentation or the
+  workload changes.
+* ``BENCH_sim.json`` / ``BENCH_nn.json`` — throughput baselines that
+  ``scripts/check_bench_regression.py`` compares against.  These carry
+  wall-clock numbers, so refresh them on the reference machine.
+
+Usage::
+
+    python scripts/refresh_perf_baselines.py             # both
+    python scripts/refresh_perf_baselines.py --profile   # hotness anchor only
+    python scripts/refresh_perf_baselines.py --bench     # bench docs only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.bench import write_bench_files, write_profile_baseline  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", action="store_true",
+                        help="refresh only profile_baseline.json")
+    parser.add_argument("--bench", action="store_true",
+                        help="refresh only BENCH_sim.json / BENCH_nn.json")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    both = not (args.profile or args.bench)
+
+    if args.profile or both:
+        path = write_profile_baseline(REPO_ROOT / "profile_baseline.json",
+                                      seed=args.seed)
+        print(f"wrote {path}")
+    if args.bench or both:
+        for path in write_bench_files(out_dir=REPO_ROOT, seed=args.seed,
+                                      progress=lambda m: print(f"  {m}")):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

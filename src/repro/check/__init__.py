@@ -12,9 +12,12 @@ numerically sane training:
   cross-module symbol resolution, class hierarchy) powering the
   project-level rule families: units-of-measure checking
   (:mod:`repro.check.units`, RPR2xx), static NN shape/parameter
-  verification (:mod:`repro.check.shapes`, RPR3xx) and API-contract
-  rules (:mod:`repro.check.contracts`, RPR4xx).  Run everything with
-  ``python -m repro check --strict [paths...]``.
+  verification (:mod:`repro.check.shapes`, RPR3xx), API-contract
+  rules (:mod:`repro.check.contracts`, RPR4xx) and profile-guided
+  performance rules (:mod:`repro.check.perf`, RPR5xx — built on the
+  intraprocedural CFG/dataflow engine of :mod:`repro.check.flow` and
+  the call-graph hotness model of :mod:`repro.check.hotness`).  Run
+  everything with ``python -m repro check --strict [paths...]``.
 * :mod:`repro.check.sanitize` — runtime assertion hooks enabled via the
   ``REPRO_SANITIZE=1`` environment variable or ``Engine(sanitize=True)``,
   verifying node conservation, event-time monotonicity, metric
@@ -29,6 +32,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.check.flow import FunctionFlow, build_cfg, loop_depths
+from repro.check.hotness import Hotness, compute_hotness, hotness_for_project
 from repro.check.lint import LintConfig, Violation, lint_paths, lint_source
 from repro.check.project import (
     PROJECT_RULES,
@@ -40,6 +45,8 @@ from repro.check.project import (
 from repro.check.rules import RULES, Rule, register
 
 __all__ = [
+    "FunctionFlow",
+    "Hotness",
     "LintConfig",
     "PROJECT_RULES",
     "ProjectRule",
@@ -48,8 +55,12 @@ __all__ = [
     "SanitizerError",
     "Violation",
     "analyze_project",
+    "build_cfg",
+    "compute_hotness",
+    "hotness_for_project",
     "lint_paths",
     "lint_source",
+    "loop_depths",
     "project_rules",
     "register",
     "register_project",

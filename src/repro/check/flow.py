@@ -1,0 +1,726 @@
+"""Intraprocedural control-flow and dataflow analysis.
+
+This is the foundation of the RPR5xx performance rule family
+(:mod:`repro.check.perf`): a per-function control-flow graph covering
+loops, ``try``/``except``/``finally``, ``with``, ``break``/``continue``
+and ``match``, plus the classic dataflow passes built on top of it —
+backward liveness (dead-store detection), forward reaching definitions,
+loop-nesting depth, and a small classifier for expressions that
+allocate new container objects.
+
+Like the rest of :mod:`repro.check` the analysis is pure :mod:`ast`:
+the analyzed code is never imported, and the module has no third-party
+dependencies.
+
+Soundness conventions (the analysis must never flag a live store):
+
+* exception edges are over-approximated — inside a ``try`` body every
+  statement gets its own block with an edge to every reachable handler
+  and ``finally`` entry, so a store observed only by a handler is live;
+* names read inside nested functions, lambdas or class bodies, and
+  names declared ``global``/``nonlocal``, are *ambient* — treated as
+  live everywhere;
+* only plain ``name = value`` / annotated-assignment targets are
+  candidate dead stores; tuple unpacking, ``for``/``with`` targets,
+  augmented assignments and underscore-prefixed names are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda,)
+
+#: roles a statement node can play inside a block (which sub-expressions
+#: of the node execute at that CFG position)
+_ROLES = ("stmt", "test", "iter", "target", "with", "except", "def",
+          "match", "case", "params")
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One executed (sub-)statement inside a basic block."""
+
+    node: ast.AST
+    role: str = "stmt"
+
+
+class Block:
+    """A basic block: straight-line entries plus successor edges."""
+
+    __slots__ = ("id", "entries", "succs")
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        self.entries: list[Entry] = []
+        self.succs: list[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block({self.id}, entries={len(self.entries)}, succs={self.succs})"
+
+
+class ControlFlowGraph:
+    """The CFG of one function body."""
+
+    __slots__ = ("fn", "blocks", "entry", "exit")
+
+    def __init__(self, fn: ast.AST, blocks: list[Block],
+                 entry: Block, exit_block: Block) -> None:
+        self.fn = fn
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_block
+
+    def preds(self) -> dict[int, list[int]]:
+        """Predecessor lists, derived from the successor edges."""
+        out: dict[int, list[int]] = {b.id: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.succs:
+                out[succ].append(block.id)
+        return out
+
+
+class _CFGBuilder:
+    """Builds a :class:`ControlFlowGraph` from a function definition."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.current = self.entry
+        #: (header, after) pairs for active loops
+        self._loops: list[tuple[Block, Block]] = []
+        #: entry blocks of the handlers of each active ``try`` body
+        self._handlers: list[list[Block]] = []
+        #: entry blocks of active ``finally`` suites
+        self._finallys: list[Block] = []
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: Block, dst: Block) -> None:
+        if dst.id not in src.succs:
+            src.succs.append(dst.id)
+
+    def _escape_targets(self) -> list[Block]:
+        """Blocks an exception raised at the current point could reach."""
+        targets: list[Block] = []
+        for handlers in self._handlers:
+            targets.extend(handlers)
+        targets.extend(self._finallys)
+        targets.append(self.exit)
+        return targets
+
+    def _emit(self, node: ast.AST, role: str = "stmt") -> None:
+        """Append one executed entry, splitting the block in try context.
+
+        Inside a ``try`` (or under a ``finally``) each statement ends
+        its block so the exception edge leaving *between* statements is
+        represented — that is what keeps handler-observed stores live.
+        """
+        if self._handlers or self._finallys:
+            for target in self._escape_targets():
+                self._edge(self.current, target)
+            self.current.entries.append(Entry(node, role))
+            nxt = self._new_block()
+            self._edge(self.current, nxt)
+            self.current = nxt
+        else:
+            self.current.entries.append(Entry(node, role))
+
+    # -- statement dispatch -------------------------------------------------
+    def build(self, fn: ast.AST) -> ControlFlowGraph:
+        self._emit(fn, role="params")
+        self._visit_body(fn.body)
+        self._edge(self.current, self.exit)
+        return ControlFlowGraph(fn, self.blocks, self.entry, self.exit)
+
+    def _visit_body(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._visit(stmt)
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        method = getattr(self, f"_visit_{type(stmt).__name__}", None)
+        if method is not None:
+            method(stmt)
+        else:
+            self._emit(stmt)
+
+    def _visit_If(self, stmt: ast.If) -> None:
+        self._emit(stmt, role="test")
+        branch = self.current
+        after = self._new_block()
+        body = self._new_block()
+        self._edge(branch, body)
+        self.current = body
+        self._visit_body(stmt.body)
+        self._edge(self.current, after)
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(branch, orelse)
+            self.current = orelse
+            self._visit_body(stmt.orelse)
+            self._edge(self.current, after)
+        else:
+            self._edge(branch, after)
+        self.current = after
+
+    def _visit_While(self, stmt: ast.While) -> None:
+        header = self._new_block()
+        self._edge(self.current, header)
+        self.current = header
+        self._emit(stmt, role="test")
+        branch = self.current
+        after = self._new_block()
+        body = self._new_block()
+        self._edge(branch, body)
+        self._loops.append((header, after))
+        self.current = body
+        self._visit_body(stmt.body)
+        self._edge(self.current, header)
+        self._loops.pop()
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(branch, orelse)
+            self.current = orelse
+            self._visit_body(stmt.orelse)
+            self._edge(self.current, after)
+        else:
+            self._edge(branch, after)
+        self.current = after
+
+    def _visit_For(self, stmt: ast.For | ast.AsyncFor) -> None:
+        self._emit(stmt, role="iter")
+        header = self._new_block()
+        self._edge(self.current, header)
+        branch = header
+        after = self._new_block()
+        body = self._new_block()
+        self._edge(branch, body)
+        self._loops.append((header, after))
+        self.current = body
+        # the loop target binds only on the iterating path, so a prior
+        # store of the same name stays live across a zero-trip loop
+        self._emit(stmt, role="target")
+        self._visit_body(stmt.body)
+        self._edge(self.current, header)
+        self._loops.pop()
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(branch, orelse)
+            self.current = orelse
+            self._visit_body(stmt.orelse)
+            self._edge(self.current, after)
+        else:
+            self._edge(branch, after)
+        self.current = after
+
+    _visit_AsyncFor = _visit_For
+
+    def _visit_Break(self, stmt: ast.Break) -> None:
+        self._emit(stmt)
+        if self._loops:
+            for fin in self._finallys:
+                self._edge(self.current, fin)
+            self._edge(self.current, self._loops[-1][1])
+        self.current = self._new_block()
+
+    def _visit_Continue(self, stmt: ast.Continue) -> None:
+        self._emit(stmt)
+        if self._loops:
+            for fin in self._finallys:
+                self._edge(self.current, fin)
+            self._edge(self.current, self._loops[-1][0])
+        self.current = self._new_block()
+
+    def _visit_Return(self, stmt: ast.Return) -> None:
+        self._emit(stmt)
+        for fin in self._finallys:
+            self._edge(self.current, fin)
+        self._edge(self.current, self.exit)
+        self.current = self._new_block()
+
+    def _visit_Raise(self, stmt: ast.Raise) -> None:
+        self._emit(stmt)
+        for target in self._escape_targets():
+            self._edge(self.current, target)
+        self.current = self._new_block()
+
+    def _visit_Try(self, stmt: ast.Try) -> None:
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        finally_entry = self._new_block() if stmt.finalbody else None
+        after = self._new_block()
+
+        if finally_entry is not None:
+            self._finallys.append(finally_entry)
+        if handler_entries:
+            self._handlers.append(handler_entries)
+        body = self._new_block()
+        self._edge(self.current, body)
+        self.current = body
+        self._visit_body(stmt.body)
+        if handler_entries:
+            self._handlers.pop()
+
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(self.current, orelse)
+            self.current = orelse
+            self._visit_body(stmt.orelse)
+        self._edge(self.current, finally_entry or after)
+
+        # handler bodies run with this try's handlers inactive (an
+        # exception there propagates out) but its finally still active
+        for entry_block, handler in zip(handler_entries, stmt.handlers):
+            self.current = entry_block
+            self._emit(handler, role="except")
+            self._visit_body(handler.body)
+            self._edge(self.current, finally_entry or after)
+
+        if finally_entry is not None:
+            self._finallys.pop()
+            self.current = finally_entry
+            self._visit_body(stmt.finalbody)
+            self._edge(self.current, after)
+            # exceptional entry: the suite completes then re-raises
+            for target in self._escape_targets():
+                self._edge(self.current, target)
+        self.current = after
+
+    _visit_TryStar = _visit_Try
+
+    def _visit_With(self, stmt: ast.With | ast.AsyncWith) -> None:
+        self._emit(stmt, role="with")
+        self._visit_body(stmt.body)
+
+    _visit_AsyncWith = _visit_With
+
+    def _visit_Match(self, stmt: ast.Match) -> None:
+        self._emit(stmt, role="match")
+        branch = self.current
+        after = self._new_block()
+        for case in stmt.cases:
+            block = self._new_block()
+            self._edge(branch, block)
+            self.current = block
+            self._emit(case, role="case")
+            self._visit_body(case.body)
+            self._edge(self.current, after)
+        self._edge(branch, after)
+        self.current = after
+
+    def _visit_FunctionDef(self, stmt: ast.AST) -> None:
+        self._emit(stmt, role="def")
+
+    _visit_AsyncFunctionDef = _visit_FunctionDef
+    _visit_ClassDef = _visit_FunctionDef
+
+
+def build_cfg(fn: ast.AST) -> ControlFlowGraph:
+    """Build the control-flow graph of one function definition."""
+    if not isinstance(fn, _FUNCTION_NODES):
+        raise TypeError(f"expected a function definition, got {type(fn).__name__}")
+    return _CFGBuilder().build(fn)
+
+
+# -- per-entry use/def extraction -------------------------------------------
+
+def _immediate_parts(node: ast.AST) -> list[ast.AST]:
+    """Sub-expressions of a scope-introducing node evaluated *now*."""
+    parts: list[ast.AST] = []
+    parts.extend(getattr(node, "decorator_list", ()))
+    if isinstance(node, ast.ClassDef):
+        parts.extend(node.bases)
+        parts.extend(kw.value for kw in node.keywords)
+        return parts
+    args = node.args
+    parts.extend(args.defaults)
+    parts.extend(d for d in args.kw_defaults if d is not None)
+    return parts
+
+
+def _name_loads(node: ast.AST | None) -> set[str]:
+    """Names read when ``node`` evaluates, excluding deferred bodies."""
+    if node is None:
+        return set()
+    loads: set[str] = set()
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Name):
+            if isinstance(current.ctx, ast.Load):
+                loads.add(current.id)
+        elif isinstance(current, _SCOPE_NODES + (ast.ClassDef,)):
+            stack.extend(_immediate_parts(current))
+        else:
+            stack.extend(ast.iter_child_nodes(current))
+    return loads
+
+
+def _target_names(node: ast.AST | None) -> set[str]:
+    """Plain names bound by an assignment/loop/with target."""
+    if node is None:
+        return set()
+    names: set[str] = set()
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Name):
+            names.add(current.id)
+        elif isinstance(current, (ast.Tuple, ast.List)):
+            stack.extend(current.elts)
+        elif isinstance(current, ast.Starred):
+            stack.append(current.value)
+    return names
+
+
+def _walrus_defs(node: ast.AST | None) -> set[str]:
+    """Names bound by ``:=`` inside ``node``, excluding deferred bodies."""
+    if node is None:
+        return set()
+    defs: set[str] = set()
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.NamedExpr):
+            if isinstance(current.target, ast.Name):
+                defs.add(current.target.id)
+            stack.append(current.value)
+        elif isinstance(current, _SCOPE_NODES):
+            stack.extend(_immediate_parts(current))
+        else:
+            stack.extend(ast.iter_child_nodes(current))
+    return defs
+
+
+def _pattern_names(pattern: ast.AST) -> set[str]:
+    """Capture names bound by a ``match`` case pattern."""
+    names: set[str] = set()
+    for node in ast.walk(pattern):
+        if isinstance(node, ast.MatchAs) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.MatchStar) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            names.add(node.rest)
+    return names
+
+
+def _fn_param_names(fn: ast.AST) -> set[str]:
+    args = fn.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def entry_uses(entry: Entry) -> set[str]:
+    """Names read when this entry executes."""
+    node, role = entry.node, entry.role
+    if role == "stmt":
+        uses = _name_loads(node)
+        if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            uses.add(node.target.id)
+        elif isinstance(node, ast.Delete):
+            # ``del x`` needs the binding; treat it as a read so the
+            # preceding store is not reported dead
+            uses |= _target_names(node)
+        return uses
+    if role == "test":
+        return _name_loads(node.test)
+    if role == "iter":
+        return _name_loads(node.iter)
+    if role == "target":
+        return _name_loads(node.target)
+    if role == "with":
+        uses: set[str] = set()
+        for item in node.items:
+            uses |= _name_loads(item.context_expr)
+        return uses
+    if role == "except":
+        return _name_loads(node.type)
+    if role == "def":
+        return _name_loads(node)
+    if role == "match":
+        return _name_loads(node.subject)
+    if role == "case":
+        uses = _name_loads(node.guard)
+        for sub in ast.walk(node.pattern):
+            if isinstance(sub, ast.MatchValue):
+                uses |= _name_loads(sub.value)
+        return uses
+    return set()  # params
+
+
+def entry_defs(entry: Entry) -> set[str]:
+    """Names bound when this entry executes."""
+    node, role = entry.node, entry.role
+    if role == "stmt":
+        defs = _walrus_defs(node)
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                defs |= _target_names(target)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                defs.add(node.target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                defs.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                defs.add(bound)
+        elif isinstance(node, ast.Delete):
+            defs |= _target_names(node)
+        return defs
+    if role == "test":
+        return _walrus_defs(node.test)
+    if role == "iter":
+        return _walrus_defs(node.iter)
+    if role == "target":
+        return _target_names(node.target)
+    if role == "with":
+        defs = set()
+        for item in node.items:
+            defs |= _target_names(item.optional_vars)
+            defs |= _walrus_defs(item.context_expr)
+        return defs
+    if role == "except":
+        return {node.name} if node.name else set()
+    if role == "def":
+        return {node.name}
+    if role == "match":
+        return _walrus_defs(node.subject)
+    if role == "case":
+        return _pattern_names(node.pattern)
+    if role == "params":
+        return _fn_param_names(node)
+    return set()
+
+
+def _flaggable_stores(entry: Entry) -> Iterator[tuple[str, ast.Name]]:
+    """Candidate dead-store targets: plain non-underscore names."""
+    node = entry.node
+    if entry.role != "stmt":
+        return
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                yield target.id, target
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        target = node.target
+        if isinstance(target, ast.Name) and not target.id.startswith("_"):
+            yield target.id, target
+
+
+# -- dataflow ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeadStore:
+    """A store whose value can never be read."""
+
+    name: str
+    lineno: int
+    col: int
+
+
+def ambient_names(fn: ast.AST) -> set[str]:
+    """Names that must be treated as live everywhere in ``fn``.
+
+    Covers ``global``/``nonlocal`` declarations and every name read in
+    a nested function, lambda, or class body (those reads happen at
+    times the CFG does not model).
+    """
+    ambient: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            ambient.update(node.names)
+        elif isinstance(node, _SCOPE_NODES + (ast.ClassDef,)) and node is not fn:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    ambient.add(sub.id)
+    return ambient
+
+
+class FunctionFlow:
+    """The dataflow facts of one function: liveness and reaching defs."""
+
+    def __init__(self, fn: ast.AST) -> None:
+        self.fn = fn
+        self.cfg = build_cfg(fn)
+        self.ambient = ambient_names(fn)
+
+    def _block_use_def(self, block: Block) -> tuple[set[str], set[str]]:
+        use: set[str] = set()
+        defs: set[str] = set()
+        for entry in block.entries:
+            use |= entry_uses(entry) - defs
+            defs |= entry_defs(entry)
+        return use, defs
+
+    def liveness(self) -> tuple[dict[int, set[str]], dict[int, set[str]]]:
+        """Per-block live-in / live-out sets (backward fixpoint)."""
+        blocks = self.cfg.blocks
+        use_def = {b.id: self._block_use_def(b) for b in blocks}
+        live_in: dict[int, set[str]] = {b.id: set() for b in blocks}
+        live_out: dict[int, set[str]] = {b.id: set() for b in blocks}
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                out: set[str] = set()
+                for succ in block.succs:
+                    out |= live_in[succ]
+                use, defs = use_def[block.id]
+                inn = use | (out - defs)
+                if out != live_out[block.id] or inn != live_in[block.id]:
+                    live_out[block.id] = out
+                    live_in[block.id] = inn
+                    changed = True
+        return live_in, live_out
+
+    def dead_stores(self) -> list[DeadStore]:
+        """Stores provably never read on any path (ambient names exempt)."""
+        _, live_out = self.liveness()
+        found: list[DeadStore] = []
+        for block in self.cfg.blocks:
+            live = set(live_out[block.id])
+            for entry in reversed(block.entries):
+                for name, target in _flaggable_stores(entry):
+                    if name not in live and name not in self.ambient:
+                        found.append(DeadStore(name, target.lineno,
+                                               target.col_offset))
+                live -= entry_defs(entry)
+                live |= entry_uses(entry)
+        found.sort(key=lambda ds: (ds.lineno, ds.col, ds.name))
+        return found
+
+    def reaching(self) -> tuple[dict[int, set[tuple[str, int]]],
+                                dict[int, set[tuple[str, int]]]]:
+        """Per-block reaching definitions (forward fixpoint).
+
+        Definition sites are ``(name, lineno)`` pairs; function
+        parameters count as definitions at the ``def`` line.
+        """
+        blocks = self.cfg.blocks
+        gen: dict[int, set[tuple[str, int]]] = {}
+        kill_names: dict[int, set[str]] = {}
+        for block in blocks:
+            last: dict[str, tuple[str, int]] = {}
+            for entry in block.entries:
+                line = getattr(entry.node, "lineno", 0)
+                for name in entry_defs(entry):
+                    last[name] = (name, line)
+            gen[block.id] = set(last.values())
+            kill_names[block.id] = set(last)
+        preds = self.cfg.preds()
+        reach_in: dict[int, set[tuple[str, int]]] = {b.id: set() for b in blocks}
+        reach_out: dict[int, set[tuple[str, int]]] = {b.id: set() for b in blocks}
+        changed = True
+        while changed:
+            changed = False
+            for block in blocks:
+                inn: set[tuple[str, int]] = set()
+                for pred in preds[block.id]:
+                    inn |= reach_out[pred]
+                killed = kill_names[block.id]
+                out = gen[block.id] | {d for d in inn if d[0] not in killed}
+                if inn != reach_in[block.id] or out != reach_out[block.id]:
+                    reach_in[block.id] = inn
+                    reach_out[block.id] = out
+                    changed = True
+        return reach_in, reach_out
+
+
+# -- loop depth & allocation classification ----------------------------------
+
+def loop_depths(fn: ast.AST) -> dict[ast.AST, int]:
+    """Loop-nesting depth of every node in ``fn``.
+
+    ``for``/``while`` bodies add one level, as does each comprehension
+    generator; ``else`` suites and ``for`` iterables run once and stay
+    at the surrounding depth.  Nested function and lambda bodies reset
+    to depth 0 — they execute when called, not where defined.
+    """
+    depths: dict[ast.AST, int] = {fn: 0}
+
+    def visit(node: ast.AST, depth: int) -> None:
+        depths[node] = depth
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            visit(node.iter, depth)
+            visit(node.target, depth + 1)
+            for stmt in node.body:
+                visit(stmt, depth + 1)
+            for stmt in node.orelse:
+                visit(stmt, depth)
+        elif isinstance(node, ast.While):
+            visit(node.test, depth + 1)
+            for stmt in node.body:
+                visit(stmt, depth + 1)
+            for stmt in node.orelse:
+                visit(stmt, depth)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            inner = depth
+            for gen in node.generators:
+                visit(gen.iter, inner)
+                inner += 1
+                visit(gen.target, inner)
+                for cond in gen.ifs:
+                    visit(cond, inner)
+            if isinstance(node, ast.DictComp):
+                visit(node.key, inner)
+                visit(node.value, inner)
+            else:
+                visit(node.elt, inner)
+        elif isinstance(node, _SCOPE_NODES):
+            for part in _immediate_parts(node):
+                visit(part, depth)
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                visit(stmt, 0)
+        else:
+            for child in ast.iter_child_nodes(node):
+                visit(child, depth)
+
+    for stmt in fn.body:
+        visit(stmt, 0)
+    return depths
+
+
+#: constructor names whose calls always allocate a fresh container
+ALLOC_CTORS = frozenset({"list", "dict", "set", "frozenset", "bytearray"})
+
+_ALLOC_DISPLAYS = {ast.List: "list display", ast.Set: "set display",
+                   ast.Dict: "dict display"}
+_ALLOC_COMPS = {ast.ListComp: "list comprehension",
+                ast.SetComp: "set comprehension",
+                ast.DictComp: "dict comprehension"}
+
+
+def allocations(fn: ast.AST) -> list[tuple[ast.AST, str]]:
+    """Expressions in ``fn`` that allocate a new container object.
+
+    Tuples and generator expressions are excluded: tuple displays are
+    cheap (often constant-folded) and genexps allocate once, lazily.
+    """
+    found: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(fn):
+        kind = _ALLOC_DISPLAYS.get(type(node)) or _ALLOC_COMPS.get(type(node))
+        if kind is not None:
+            found.append((node, kind))
+        elif (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+              and node.func.id in ALLOC_CTORS):
+            found.append((node, f"{node.func.id}() constructor call"))
+    found.sort(key=lambda pair: (getattr(pair[0], "lineno", 0),
+                                 getattr(pair[0], "col_offset", 0)))
+    return found

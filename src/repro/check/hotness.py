@@ -1,0 +1,379 @@
+"""Profile-guided hotness ranking over the project call graph.
+
+The RPR5xx performance rules (:mod:`repro.check.perf`) only fire on
+code that is *measurably hot*, so cold-path style noise never reaches
+the ratchet.  Hotness comes from two ingredients:
+
+1. A committed **profiler baseline** (``profile_baseline.json``,
+   written by ``repro bench --emit-profile``): the deterministic call
+   counts of the PR-4 profiler scopes over the bench workload.  Call
+   counts — not wall seconds — drive the ranking, because they are
+   bit-identical across machines while timings are not.
+2. A **static call graph** built from the :class:`ProjectModel`:
+   direct calls resolve through the import-alias tables, ``self.m()``
+   resolves within the class hierarchy, and remaining attribute calls
+   fall back to bounded name matching (capped fan-out, with a blocklist
+   of ubiquitous container/stdlib method names).
+
+Profiler scopes anchor to functions via :data:`SCOPE_ANCHORS`; anchor
+functions score 1.0 and hotness decays by :data:`DECAY` per static call
+edge (max over paths).  Functions within :data:`HOT_THRESHOLD` are
+*hot*, then *warm*, then *cold*.
+
+When no baseline is discoverable (e.g. the scratch trees used by
+tests) there is no hotness model and every RPR5xx rule stays silent —
+the same anchor-absent convention as the RPR3xx/RPR4xx families.  Set
+``REPRO_PROFILE_BASELINE=<path>`` to point at a specific baseline, or
+to ``off`` to disable discovery.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.check.project import ModuleInfo, ProjectModel
+
+PROFILE_BASELINE_SCHEMA = "repro.profile-baseline/v1"
+DEFAULT_BASELINE_NAME = "profile_baseline.json"
+BASELINE_ENV = "REPRO_PROFILE_BASELINE"
+
+#: hotness lost per static call edge away from an anchor
+DECAY = 0.5
+#: minimum score counted as hot (anchor + up to 3 call hops)
+HOT_THRESHOLD = 0.1
+#: minimum score counted as warm
+WARM_THRESHOLD = 0.01
+#: scores below this stop propagating
+MIN_SCORE = 1e-3
+#: profiler scopes with fewer calls than this do not anchor anything
+#: (a scope entered once per run says nothing about per-event cost)
+MIN_ANCHOR_CALLS = 16
+#: an ambiguous method name matching more candidates than this
+#: resolves to nothing
+MAX_FANOUT = 8
+
+#: sentinel anchoring the ``schedule`` method of every scheduler
+SCHEDULE_ANCHOR = "@scheduler-schedule"
+SCHEDULER_BASE = "repro.schedulers.base.BaseScheduler"
+
+#: profiler scope -> functions it measures
+SCOPE_ANCHORS: dict[str, tuple[str, ...]] = {
+    "engine.run": ("repro.sim.engine.Engine.run",),
+    "engine.instance": ("repro.sim.engine.Engine.run",
+                        "repro.sim.engine.Engine._run_instance"),
+    "engine.schedule": (SCHEDULE_ANCHOR,),
+    "nn.forward": ("repro.nn.network.Network.forward",),
+    "nn.backward": ("repro.nn.network.Network.backward",),
+    "nn.adam_step": ("repro.nn.optim.Adam.step",),
+}
+
+#: ubiquitous method names never resolved by bare name matching —
+#: they overwhelmingly belong to builtin containers / numpy / stdlib
+COMMON_METHOD_NAMES = frozenset({
+    "add", "all", "any", "append", "appendleft", "astype", "clear",
+    "close", "copy", "count", "decode", "discard", "encode", "endswith",
+    "exists", "extend", "fill", "flush", "format", "get", "group",
+    "index", "insert", "is_dir", "is_file", "items", "join", "keys",
+    "lower", "lstrip", "match", "max", "mean", "min", "mkdir", "open",
+    "pop", "popleft", "read", "readline", "readlines", "replace",
+    "reshape", "rsplit", "rstrip", "seek", "setdefault", "sort",
+    "split", "splitlines", "startswith", "strip", "sum", "tell",
+    "tolist", "update", "upper", "values", "write", "writelines",
+})
+
+
+# -- baseline I/O ------------------------------------------------------------
+
+def load_profile_baseline(path: str | Path) -> dict[str, int]:
+    """Read a profile baseline; returns scope name -> call count.
+
+    Raises :class:`ValueError` on schema mismatch or malformed scopes.
+    """
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != PROFILE_BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {PROFILE_BASELINE_SCHEMA!r}, "
+            f"got {doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r}"
+        )
+    scopes = doc.get("scopes")
+    if not isinstance(scopes, list):
+        raise ValueError(f"{path}: 'scopes' must be a list")
+    counts: dict[str, int] = {}
+    for entry in scopes:
+        if not isinstance(entry, dict) or "name" not in entry or "calls" not in entry:
+            raise ValueError(f"{path}: malformed scope entry {entry!r}")
+        counts[str(entry["name"])] = int(entry["calls"])
+    return counts
+
+
+def find_profile_baseline(root: str | Path | None) -> Path | None:
+    """Locate the profile baseline for a project rooted at ``root``.
+
+    The ``REPRO_PROFILE_BASELINE`` env var overrides discovery (empty,
+    ``off`` or ``0`` disables it); otherwise the baseline is searched
+    in ``root`` and up to four parent directories, which reaches the
+    repository root from a ``src/<package>`` layout.
+    """
+    override = os.environ.get(BASELINE_ENV)
+    if override is not None:
+        if override.strip().lower() in ("", "off", "0", "none"):
+            return None
+        path = Path(override)
+        return path if path.is_file() else None
+    if root is None:
+        return None
+    directory = Path(root)
+    for _ in range(5):
+        candidate = directory / DEFAULT_BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+        if directory.parent == directory:
+            break
+        directory = directory.parent
+    return None
+
+
+# -- function index & call graph ---------------------------------------------
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qualname: str               #: e.g. ``repro.sim.engine.Engine.run``
+    module: ModuleInfo
+    cls: str | None             #: owning class name, None for functions
+    node: ast.AST               #: the (async) function definition
+
+
+def index_functions(project: ProjectModel) -> dict[str, FunctionInfo]:
+    """Every module-level function and direct method in the project."""
+    index: dict[str, FunctionInfo] = {}
+    for info in project.modules.values():
+        for name, node in info.functions.items():
+            index[f"{info.name}.{name}"] = FunctionInfo(
+                f"{info.name}.{name}", info, None, node)
+        for cls_name, cls_node in info.classes.items():
+            for item in cls_node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{info.name}.{cls_name}.{item.name}"
+                    index[qual] = FunctionInfo(qual, info, cls_name, item)
+    return index
+
+
+@dataclass(frozen=True)
+class CallGraph:
+    """Static call edges plus class-instantiation sites per function."""
+
+    edges: dict[str, tuple[str, ...]]
+    instantiated: dict[str, tuple[str, ...]]
+
+
+def _class_qualname(info: ModuleInfo, node: ast.ClassDef) -> str:
+    return f"{info.name}.{node.name}"
+
+
+def build_call_graph(project: ProjectModel,
+                     index: dict[str, FunctionInfo]) -> CallGraph:
+    """Resolve the calls made by every indexed function."""
+    methods_by_name: dict[str, list[str]] = {}
+    for qual, fi in index.items():
+        if fi.cls is not None:
+            methods_by_name.setdefault(fi.node.name, []).append(qual)
+    for candidates in methods_by_name.values():
+        candidates.sort()
+
+    edges: dict[str, tuple[str, ...]] = {}
+    instantiated: dict[str, tuple[str, ...]] = {}
+    for qual in sorted(index):
+        fi = index[qual]
+        targets: set[str] = set()
+        classes: set[str] = set()
+        for node in ast.walk(fi.node):
+            if isinstance(node, ast.Call):
+                _resolve_call(project, index, methods_by_name, fi,
+                              node.func, targets, classes)
+        edges[qual] = tuple(sorted(targets))
+        instantiated[qual] = tuple(sorted(classes))
+    return CallGraph(edges=edges, instantiated=instantiated)
+
+
+def _add_resolved(index: dict[str, FunctionInfo], info: ModuleInfo,
+                  node: ast.AST, targets: set[str], classes: set[str]) -> bool:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        qual = f"{info.name}.{node.name}"
+        if qual in index:
+            targets.add(qual)
+            return True
+    elif isinstance(node, ast.ClassDef):
+        cls_qual = _class_qualname(info, node)
+        classes.add(cls_qual)
+        init_qual = f"{cls_qual}.__init__"
+        if init_qual in index:
+            targets.add(init_qual)
+        return True
+    return False
+
+
+def _resolve_call(project: ProjectModel, index: dict[str, FunctionInfo],
+                  methods_by_name: dict[str, list[str]], fi: FunctionInfo,
+                  func: ast.expr, targets: set[str], classes: set[str]) -> None:
+    if isinstance(func, ast.Name):
+        resolved = project.resolve_local(fi.module, func.id)
+        if resolved is not None:
+            _add_resolved(index, resolved[0], resolved[1], targets, classes)
+        return
+    if not isinstance(func, ast.Attribute):
+        return
+    # self.m(): same class first, then overrides in subclasses
+    if (isinstance(func.value, ast.Name) and func.value.id == "self"
+            and fi.cls is not None):
+        own_class = f"{fi.module.name}.{fi.cls}"
+        found = False
+        for cls_qual in [own_class] + project.subclasses_of(own_class):
+            candidate = f"{cls_qual}.{func.attr}"
+            if candidate in index:
+                targets.add(candidate)
+                found = True
+        if found:
+            return
+    # fully-qualified attribute chain (module.func, imported class, ...)
+    dotted = project.qualify(fi.module, func)
+    if dotted is not None:
+        resolved = project.resolve(dotted)
+        if resolved is not None and _add_resolved(index, resolved[0],
+                                                  resolved[1], targets, classes):
+            return
+    # bounded name matching for everything else (x.method())
+    if func.attr in COMMON_METHOD_NAMES or func.attr.startswith("__"):
+        return
+    candidates = methods_by_name.get(func.attr, ())
+    if 0 < len(candidates) <= MAX_FANOUT:
+        targets.update(candidates)
+
+
+# -- hotness ------------------------------------------------------------------
+
+def _resolve_anchor(project: ProjectModel, index: dict[str, FunctionInfo],
+                    spec: str) -> list[str]:
+    if spec == SCHEDULE_ANCHOR:
+        anchored = []
+        for cls_qual in [SCHEDULER_BASE] + project.subclasses_of(SCHEDULER_BASE):
+            candidate = f"{cls_qual}.schedule"
+            if candidate in index:
+                anchored.append(candidate)
+        return sorted(anchored)
+    return [spec] if spec in index else []
+
+
+@dataclass(frozen=True)
+class Hotness:
+    """The computed hotness model of one project."""
+
+    index: dict[str, FunctionInfo]
+    graph: CallGraph
+    scores: dict[str, float]
+    anchor_calls: dict[str, int]
+    baseline_path: str | None = None
+
+    def score(self, qualname: str) -> float:
+        """Propagated hotness score of ``qualname`` (0.0 when unranked)."""
+        return self.scores.get(qualname, 0.0)
+
+    def tier(self, qualname: str) -> str:
+        """Hotness tier of ``qualname``: ``hot``, ``warm`` or ``cold``."""
+        score = self.score(qualname)
+        if score >= HOT_THRESHOLD:
+            return "hot"
+        if score >= WARM_THRESHOLD:
+            return "warm"
+        return "cold"
+
+    def is_hot(self, qualname: str) -> bool:
+        """Whether ``qualname`` is in the hot tier (rules gate on this)."""
+        return self.score(qualname) >= HOT_THRESHOLD
+
+    def hot_functions(self) -> list[FunctionInfo]:
+        """Hot functions, deterministically ordered by qualname."""
+        return [self.index[q] for q in sorted(self.scores)
+                if q in self.index and self.is_hot(q)]
+
+    def ranking(self) -> list[tuple[str, float, int]]:
+        """``(qualname, score, anchor_calls)`` rows, hottest first.
+
+        The order is deterministic across machines: it depends only on
+        the static call graph and the baseline call counts.
+        """
+        rows = [(q, s, self.anchor_calls.get(q, 0))
+                for q, s in self.scores.items() if q in self.index]
+        rows.sort(key=lambda row: (-row[1], -row[2], row[0]))
+        return rows
+
+
+def compute_hotness(project: ProjectModel, baseline: dict[str, int],
+                    baseline_path: str | None = None) -> Hotness:
+    """Anchor profiler scopes onto functions and propagate with decay."""
+    index = index_functions(project)
+    graph = build_call_graph(project, index)
+    scores: dict[str, float] = {}
+    anchor_calls: dict[str, int] = {}
+    for scope, specs in SCOPE_ANCHORS.items():
+        calls = baseline.get(scope, 0)
+        if calls < MIN_ANCHOR_CALLS:
+            continue
+        for spec in specs:
+            for qual in _resolve_anchor(project, index, spec):
+                scores[qual] = 1.0
+                anchor_calls[qual] = max(anchor_calls.get(qual, 0), calls)
+    worklist = sorted(scores)
+    while worklist:
+        qual = worklist.pop()
+        propagated = scores[qual] * DECAY
+        if propagated < MIN_SCORE:
+            continue
+        for callee in graph.edges.get(qual, ()):
+            if scores.get(callee, 0.0) < propagated:
+                scores[callee] = propagated
+                worklist.append(callee)
+    return Hotness(index=index, graph=graph, scores=scores,
+                   anchor_calls=anchor_calls, baseline_path=baseline_path)
+
+
+_CACHE_ATTR = "_hotness_cache"
+
+
+def hotness_for_project(project: ProjectModel) -> Hotness | None:
+    """Discover the baseline and compute (and cache) the hotness model.
+
+    Returns ``None`` — and the RPR5xx rules stay silent — when no
+    baseline is discoverable or it fails to load.
+    """
+    cached = getattr(project, _CACHE_ATTR, False)
+    if cached is not False:
+        return cached
+    result: Hotness | None = None
+    path = find_profile_baseline(getattr(project, "root", None))
+    if path is not None:
+        try:
+            baseline = load_profile_baseline(path)
+        except (OSError, ValueError):
+            baseline = None
+        if baseline:
+            result = compute_hotness(project, baseline,
+                                     baseline_path=path.as_posix())
+    setattr(project, _CACHE_ATTR, result)
+    return result
+
+
+def format_ranking(hotness: Hotness, limit: int = 30) -> str:
+    """Human-readable hotness table for ``repro check --hotness``."""
+    lines = [f"{'score':>7}  {'tier':<5} {'anchor calls':>12}  function"]
+    for qual, score, calls in hotness.ranking()[:limit]:
+        tier = hotness.tier(qual)
+        calls_text = str(calls) if calls else "-"
+        lines.append(f"{score:7.3f}  {tier:<5} {calls_text:>12}  {qual}")
+    return "\n".join(lines)

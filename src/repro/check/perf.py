@@ -1,0 +1,371 @@
+"""RPR5xx: profile-guided performance rules.
+
+These whole-program rules guard the simulator's event hot path — the
+binding constraint on Cori/Theta-scale training (ROADMAP item 1).  All
+of them are **gated by measured hotness**: a function must be reachable
+within a few call-graph hops of a profiler anchor scope (see
+:mod:`repro.check.hotness`) before any finding fires, so cold-path
+style noise never reaches the ratchet baseline.  Without a discoverable
+``profile_baseline.json`` the whole family is silent.
+
+Catalog
+-------
+* RPR501 ``hot-loop-alloc`` — container allocation inside a hot loop.
+* RPR502 ``hot-attr-hoist`` — the same attribute chain read repeatedly
+  inside one hot loop; hoist it into a local.
+* RPR503 ``hot-rebuild`` — a container rebuilt from instance state on
+  every call of a hot function.
+* RPR504 ``hot-no-slots`` — a class instantiated on the hot path with
+  no ``__slots__``.
+* RPR505 ``dead-store`` — a store provably never read (liveness over
+  the :mod:`repro.check.flow` CFG); reported project-wide.
+* RPR506 ``float-accum-order`` — float accumulation over unordered set
+  iteration, which breaks bit-identical vectorization.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check import flow as _flow
+from repro.check.hotness import Hotness, hotness_for_project
+from repro.check.project import (
+    ProjectFinding,
+    ProjectModel,
+    ProjectRule,
+    register_project,
+)
+
+#: a chain must repeat at least this often in one loop to be reported
+MIN_CHAIN_REPEATS = 3
+
+#: base-class names (last component) that exempt a class from RPR504
+_SLOTS_EXEMPT_BASES = ("Protocol", "Enum", "IntEnum", "StrEnum", "Flag",
+                       "IntFlag", "NamedTuple", "TypedDict")
+
+
+def _dotted_chain(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name-rooted attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return ".".join(parts)
+
+
+def _fn_label(hotness: Hotness, qualname: str) -> str:
+    return f"{qualname} (hotness {hotness.score(qualname):.2f})"
+
+
+@register_project
+class HotLoopAllocRule(ProjectRule):
+    """Container allocations inside loops of hot functions."""
+
+    id = "RPR501"
+    slug = "hot-loop-alloc"
+    rationale = (
+        "Building a fresh list/dict/set on every iteration of a hot loop "
+        "dominates event-path cost in pure Python; preallocate, reuse, or "
+        "hoist the container out of the per-event path."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield findings (silent when no profile baseline is present)."""
+        hotness = hotness_for_project(project)
+        if hotness is None:
+            return
+        for fi in hotness.hot_functions():
+            depths = _flow.loop_depths(fi.node)
+            for node, kind in _flow.allocations(fi.node):
+                depth = depths.get(node, 0)
+                if depth < 1:
+                    continue
+                yield ProjectFinding(
+                    fi.module.path, node.lineno, node.col_offset,
+                    f"{kind} at loop depth {depth} of hot function "
+                    f"{_fn_label(hotness, fi.qualname)}",
+                )
+
+
+@register_project
+class HotAttrHoistRule(ProjectRule):
+    """Repeated attribute-chain lookups inside one hot loop."""
+
+    id = "RPR502"
+    slug = "hot-attr-hoist"
+    rationale = (
+        "Re-reading the same attribute chain on every iteration of a hot "
+        "loop pays repeated dictionary lookups; bind it to a local before "
+        "the loop."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield findings (silent when no profile baseline is present)."""
+        hotness = hotness_for_project(project)
+        if hotness is None:
+            return
+        for fi in hotness.hot_functions():
+            reported: set[str] = set()
+            for loop in ast.walk(fi.node):
+                if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                    continue
+                for chain, count in self._repeated_chains(loop):
+                    if chain in reported:
+                        continue
+                    reported.add(chain)
+                    yield ProjectFinding(
+                        fi.module.path, loop.lineno, loop.col_offset,
+                        f"attribute chain '{chain}' read {count}x inside one "
+                        f"loop of hot function {_fn_label(hotness, fi.qualname)}"
+                        "; hoist it into a local",
+                    )
+
+    @staticmethod
+    def _repeated_chains(loop: ast.stmt) -> list[tuple[str, int]]:
+        scan: list[ast.AST] = list(loop.body)
+        if isinstance(loop, ast.While):
+            scan.append(loop.test)
+        parents: dict[ast.AST, ast.AST] = {}
+        rebound: set[str] = set()
+        stored_chains: set[str] = set()
+        counts: dict[str, int] = {}
+        for root in scan:
+            for node in ast.walk(root):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+        if isinstance(loop, (ast.For, ast.AsyncFor)):
+            rebound |= _flow._target_names(loop.target)
+        for root in scan:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Name) and isinstance(
+                        node.ctx, (ast.Store, ast.Del)):
+                    rebound.add(node.id)
+                elif isinstance(node, ast.Attribute) and isinstance(
+                        node.ctx, (ast.Store, ast.Del)):
+                    chain = _dotted_chain(node)
+                    if chain is not None:
+                        stored_chains.add(chain)
+        for root in scan:
+            for node in ast.walk(root):
+                if not isinstance(node, ast.Attribute) or not isinstance(
+                        node.ctx, ast.Load):
+                    continue
+                parent = parents.get(node)
+                if isinstance(parent, ast.Attribute) and parent.value is node:
+                    continue  # inner link of a longer chain
+                if isinstance(parent, ast.Call) and parent.func is node:
+                    # a method call re-reads only the receiver chain
+                    node = node.value
+                    if not isinstance(node, ast.Attribute):
+                        continue
+                chain = _dotted_chain(node)
+                if chain is None:
+                    continue
+                counts[chain] = counts.get(chain, 0) + 1
+        repeated: list[tuple[str, int]] = []
+        for chain, count in sorted(counts.items()):
+            if count < MIN_CHAIN_REPEATS:
+                continue
+            root_name = chain.split(".", 1)[0]
+            if root_name in rebound:
+                continue
+            prefixes = chain.split(".")
+            if any(".".join(prefixes[:i]) in stored_chains
+                   for i in range(2, len(prefixes) + 1)):
+                continue
+            repeated.append((chain, count))
+        return repeated
+
+
+@register_project
+class HotRebuildRule(ProjectRule):
+    """Containers rebuilt from instance state on every hot call."""
+
+    id = "RPR503"
+    slug = "hot-rebuild"
+    rationale = (
+        "list(self._x)/dict(self._y) copies the whole container on every "
+        "call of a hot function; return a read-only view, cache the copy, "
+        "or restructure the caller."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield findings (silent when no profile baseline is present)."""
+        hotness = hotness_for_project(project)
+        if hotness is None:
+            return
+        for fi in hotness.hot_functions():
+            for node in ast.walk(fi.node):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id in ("list", "dict", "set", "tuple")
+                        and len(node.args) == 1 and not node.keywords):
+                    continue
+                chain = _dotted_chain(node.args[0])
+                if chain is None or "." not in chain:
+                    continue
+                yield ProjectFinding(
+                    fi.module.path, node.lineno, node.col_offset,
+                    f"{node.func.id}({chain}) rebuilds a container on every "
+                    f"call of hot function {_fn_label(hotness, fi.qualname)}",
+                )
+
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in item.targets):
+                return True
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.target.id == "__slots__":
+                return True
+    for dec in cls.decorator_list:
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if kw.arg == "slots" and isinstance(kw.value, ast.Constant) \
+                        and kw.value.value is True:
+                    return True
+    return False
+
+
+@register_project
+class HotNoSlotsRule(ProjectRule):
+    """Hot-path classes without ``__slots__``."""
+
+    id = "RPR504"
+    slug = "hot-no-slots"
+    rationale = (
+        "Every instance of a __dict__-bearing class allocated on the event "
+        "path costs an extra dict; __slots__ (or dataclass(slots=True)) "
+        "removes it."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield findings (silent when no profile baseline is present)."""
+        hotness = hotness_for_project(project)
+        if hotness is None:
+            return
+        instantiated_by: dict[str, str] = {}
+        for fi in hotness.hot_functions():
+            for cls_qual in hotness.graph.instantiated.get(fi.qualname, ()):
+                instantiated_by.setdefault(cls_qual, fi.qualname)
+        for cls_qual in sorted(instantiated_by):
+            entry = project.class_def(cls_qual)
+            if entry is None:
+                continue
+            info, cls = entry
+            if _has_slots(cls) or self._exempt(cls):
+                continue
+            yield ProjectFinding(
+                info.path, cls.lineno, cls.col_offset,
+                f"class {cls_qual} is instantiated in hot function "
+                f"{_fn_label(hotness, instantiated_by[cls_qual])} but "
+                "defines no __slots__",
+            )
+
+    @staticmethod
+    def _exempt(cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else \
+                base.id if isinstance(base, ast.Name) else ""
+            if name.endswith(("Error", "Exception", "Warning")) \
+                    or name in _SLOTS_EXEMPT_BASES:
+                return True
+        return False
+
+
+@register_project
+class DeadStoreRule(ProjectRule):
+    """Stores whose value is provably never read (project-wide)."""
+
+    id = "RPR505"
+    slug = "dead-store"
+    rationale = (
+        "A store that no path ever reads is wasted work and usually a "
+        "logic bug (a result computed and dropped); delete it or use the "
+        "value."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield findings (silent when no profile baseline is present)."""
+        hotness = hotness_for_project(project)
+        if hotness is None:
+            return
+        for qual in sorted(hotness.index):
+            fi = hotness.index[qual]
+            try:
+                dead = _flow.FunctionFlow(fi.node).dead_stores()
+            except RecursionError:  # pragma: no cover - pathological nesting
+                continue
+            for store in dead:
+                yield ProjectFinding(
+                    fi.module.path, store.lineno, store.col,
+                    f"dead store: '{store.name}' in {qual} is assigned but "
+                    "never read",
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+                "intersection", "union", "difference",
+                "symmetric_difference"):
+            return True
+    return False
+
+
+@register_project
+class FloatAccumOrderRule(ProjectRule):
+    """Order-sensitive float accumulation over unordered sets."""
+
+    id = "RPR506"
+    slug = "float-accum-order"
+    rationale = (
+        "Summing floats while iterating a set depends on hash order, so "
+        "results are not bit-identical across runs or after vectorization; "
+        "accumulate over a sorted or insertion-ordered container."
+    )
+
+    _ACCUM_OPS = (ast.Add, ast.Sub, ast.Mult)
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield findings (silent when no profile baseline is present)."""
+        hotness = hotness_for_project(project)
+        if hotness is None:
+            return
+        for fi in hotness.hot_functions():
+            label = _fn_label(hotness, fi.qualname)
+            for node in ast.walk(fi.node):
+                if isinstance(node, (ast.For, ast.AsyncFor)) \
+                        and _is_set_expr(node.iter):
+                    for sub in ast.walk(node):
+                        if isinstance(sub, ast.AugAssign) \
+                                and isinstance(sub.op, self._ACCUM_OPS):
+                            yield ProjectFinding(
+                                fi.module.path, sub.lineno, sub.col_offset,
+                                "float accumulation over unordered set "
+                                f"iteration in hot function {label}",
+                            )
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Name)
+                      and node.func.id == "sum" and node.args
+                      and isinstance(node.args[0],
+                                     (ast.GeneratorExp, ast.ListComp))
+                      and node.args[0].generators
+                      and _is_set_expr(node.args[0].generators[0].iter)):
+                    yield ProjectFinding(
+                        fi.module.path, node.lineno, node.col_offset,
+                        "sum() over unordered set iteration in hot "
+                        f"function {label}",
+                    )

@@ -100,7 +100,12 @@ def _collect_namespace(info: ModuleInfo) -> None:
 class ProjectModel:
     """Cross-module view of one parsed package tree."""
 
-    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+    def __init__(self, modules: Iterable[ModuleInfo],
+                 root: str | Path | None = None) -> None:
+        #: package directory the model was loaded from (None for
+        #: synthetic models); used to discover sibling analysis inputs
+        #: such as the profile baseline of :mod:`repro.check.hotness`
+        self.root: Path | None = Path(root) if root is not None else None
         self.modules: dict[str, ModuleInfo] = {m.name: m for m in modules}
         self._class_index: dict[str, tuple[ModuleInfo, ast.ClassDef]] = {}
         self._subclass_edges: dict[str, set[str]] = {}
@@ -143,7 +148,7 @@ class ProjectModel:
             )
             _collect_namespace(info)
             modules.append(info)
-        return cls(modules)
+        return cls(modules, root=root)
 
     # -- symbol resolution -------------------------------------------------
     def module(self, dotted: str) -> ModuleInfo | None:
@@ -293,7 +298,7 @@ def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
 def _load_rule_modules() -> None:
     # the concrete rule families live in sibling modules that import
     # this one; importing them lazily avoids a cycle at module load
-    from repro.check import contracts, shapes, units  # noqa: F401
+    from repro.check import contracts, perf, shapes, units  # noqa: F401
 
 
 def project_rules(config: LintConfig | None = None) -> list[ProjectRule]:

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -474,6 +475,30 @@ def cmd_check(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    if args.profile_baseline:
+        # route the hotness machinery at an explicit baseline (the
+        # env var is how rules discover it without plumbing)
+        from repro.check import hotness as _hotness
+        os.environ[_hotness.BASELINE_ENV] = args.profile_baseline
+
+    if args.hotness:
+        from repro.check import hotness as _hotness
+        from repro.check.project import ProjectModel
+        root = Path(args.paths[0])
+        if root.is_file():
+            root = root.parent
+        if not root.is_dir():
+            print(f"project root is not a directory: {root}", file=sys.stderr)
+            return 2
+        ranking = _hotness.hotness_for_project(ProjectModel.load(root))
+        if ranking is None:
+            print("no profile baseline found; run "
+                  "`repro bench --emit-profile profile_baseline.json` first "
+                  "or pass --profile-baseline", file=sys.stderr)
+            return 2
+        print(_hotness.format_ranking(ranking))
+        return 0
+
     config = LintConfig().with_overrides(select=args.select, ignore=args.ignore)
     try:
         violations = lint_paths(args.paths, config)
@@ -525,6 +550,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import write_bench_files
+
+    if args.emit_profile:
+        from repro.obs.bench import write_profile_baseline
+        path = write_profile_baseline(
+            args.emit_profile, seed=args.seed, quick=args.quick,
+        )
+        print(f"wrote {path}")
+        return 0
 
     paths = write_bench_files(
         out_dir=args.out_dir,
@@ -693,7 +726,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip these rules (slug or id; repeatable)")
     p.add_argument("--strict", action="store_true",
                    help="also run the whole-program rules (RPR2xx units, "
-                        "RPR3xx NN shapes/params, RPR4xx API contracts)")
+                        "RPR3xx NN shapes/params, RPR4xx API contracts, "
+                        "RPR5xx profile-guided performance)")
+    p.add_argument("--hotness", action="store_true",
+                   help="print the profile-guided hotness ranking of the "
+                        "first path's project and exit")
+    p.add_argument("--profile-baseline", metavar="PATH",
+                   help="profiler baseline JSON anchoring the RPR5xx "
+                        "hotness model (default: profile_baseline.json "
+                        "discovered near the project root)")
     p.add_argument("--json", action="store_true",
                    help="emit findings as a JSON document on stdout")
     p.add_argument("--sarif", metavar="PATH",
@@ -718,6 +759,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for BENCH_*.json (default: current dir)")
     p.add_argument("--only", choices=("sim", "nn"), default=None,
                    help="run a single suite instead of both")
+    p.add_argument("--emit-profile", metavar="PATH",
+                   help="instead of the suites, run the deterministic "
+                        "profiling workload and write the hotness "
+                        "baseline JSON for `repro check --strict`")
     p.add_argument("--report", metavar="PATH",
                    help="also write a self-contained HTML run report")
     p.set_defaults(func=cmd_bench)

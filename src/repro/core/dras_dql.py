@@ -31,7 +31,7 @@ from repro.sim.engine import SchedulingView
 from repro.sim.job import Job
 
 
-@dataclass
+@dataclass(slots=True)
 class _QTransition:
     x: np.ndarray                 #: the chosen job's network input
     reward: float | None = None
@@ -110,9 +110,10 @@ class DRASDQL(HierarchicalAgent):
         if not ready:
             return
         x = np.stack([t.x for t in ready])
+        gamma = self.config.gamma
         targets = np.array(
-            [[t.reward + self.config.gamma * t.next_max_q] for t in ready]
-        )
+            [t.reward + gamma * t.next_max_q for t in ready]
+        ).reshape(-1, 1)
         self.network.zero_grad()
         q = self.network.forward(x)
         loss, grad = mse_loss(q, targets)

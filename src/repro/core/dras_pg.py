@@ -70,7 +70,7 @@ class BaselineTracker:
         self._counts[:k] += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transition:
     x: np.ndarray
     mask: np.ndarray

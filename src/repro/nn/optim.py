@@ -102,6 +102,7 @@ class Adam(Optimizer):
         sanitize = _san.sanitizer_enabled()
         track = self.track_grad_norm
         sq_norm_sum = 0.0
+        grad_clip = self.grad_clip
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
@@ -109,12 +110,12 @@ class Adam(Optimizer):
             g = p.grad
             if sanitize:
                 _san.check_finite(f"gradient of {p.name} (Adam step {self._t})", g)
-            if track or self.grad_clip is not None:
+            if track or grad_clip is not None:
                 norm = float(np.linalg.norm(g))
                 if track:
                     sq_norm_sum += norm * norm
-                if self.grad_clip is not None and norm > self.grad_clip:
-                    g = g * (self.grad_clip / norm)
+                if grad_clip is not None and norm > grad_clip:
+                    g = g * (grad_clip / norm)
             m *= b1
             m += (1 - b1) * g
             v *= b2

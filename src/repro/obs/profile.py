@@ -125,6 +125,8 @@ class Profiler:
     costs exactly one branch.
     """
 
+    __slots__ = ("_root", "_stack")
+
     def __init__(self) -> None:
         self._root = ProfileNode("<root>")
         #: (node, entry perf_counter) for every open scope

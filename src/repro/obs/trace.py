@@ -73,6 +73,9 @@ class Tracer:
         cost to a ``json.dumps`` plus a list append.
     """
 
+    __slots__ = ("_fh", "_owns_fh", "_buffer", "_buffer_lines",
+                 "_next_sid", "_stack", "_closed")
+
     def __init__(self, sink: str | Path | IO[str], buffer_lines: int = 256) -> None:
         if buffer_lines <= 0:
             raise ValueError("buffer_lines must be positive")

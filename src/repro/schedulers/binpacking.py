@@ -21,7 +21,9 @@ class BinPacking(BaseScheduler):
     def schedule(self, view: SchedulingView) -> None:
         while True:
             free = view.free_nodes
-            runnable = [j for j in view.waiting() if j.size <= free]
+            # recomputing the runnable set after every start is the
+            # algorithm: each start changes ``free``
+            runnable = [j for j in view.waiting() if j.size <= free]  # repro: noqa[hot-loop-alloc]
             if not runnable:
                 return
             # Largest first; ties broken by arrival order (stable max).

@@ -20,11 +20,12 @@ class FCFSEasy(BaseScheduler):
 
     def schedule(self, view: SchedulingView) -> None:
         # Phase 1: run jobs from the head of the queue while they fit.
+        # window(1) peeks the head without copying the whole queue.
         while True:
-            waiting = view.waiting()
-            if not waiting:
+            window = view.window(1)
+            if not window:
                 return
-            head = waiting[0]
+            head = window[0]
             if head.size <= view.free_nodes:
                 view.start(head)
             else:
@@ -35,7 +36,7 @@ class FCFSEasy(BaseScheduler):
 
         # Phase 3: first-fit backfilling until no candidate remains.
         while True:
-            candidates = view.backfill_candidates()
-            if not candidates:
+            job = view.backfill_first()
+            if job is None:
                 return
-            view.start(candidates[0])
+            view.start(job)

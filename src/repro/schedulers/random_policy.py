@@ -31,7 +31,9 @@ class RandomScheduler(BaseScheduler):
     def schedule(self, view: SchedulingView) -> None:
         while True:
             free = view.free_nodes
-            runnable = [j for j in view.waiting() if j.size <= free]
+            # recomputing the runnable set after every start is the
+            # algorithm: each start changes ``free``
+            runnable = [j for j in view.waiting() if j.size <= free]  # repro: noqa[hot-loop-alloc]
             if not runnable:
                 return
             choice = runnable[int(self._rng.integers(len(runnable)))]

@@ -25,7 +25,7 @@ from repro.sim.cluster import Cluster
 from repro.sim.job import Job
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reservation:
     """A resource reservation for a blocked job."""
 
@@ -53,8 +53,7 @@ class BackfillPlanner:
 
     def reserve(self, job: Job, now: float) -> Reservation:
         """Build a reservation for a job that does not currently fit."""
-        shadow = self._cluster.shadow_time(job.size, now)
-        free_at_shadow = self._cluster.free_nodes_at(shadow, now)
+        shadow, free_at_shadow = self._cluster.reservation_point(job.size, now)
         extra = max(0, free_at_shadow - job.size)
         return Reservation(
             job_id=job.job_id,
@@ -79,3 +78,19 @@ class BackfillPlanner:
             if job.job_id != reservation.job_id
             and reservation.allows(job, now, free)
         ]
+
+    def first_candidate(
+        self, jobs: list[Job], reservation: Reservation, now: float
+    ) -> Job | None:
+        """The first job that may legally backfill, or ``None``.
+
+        First-fit policies call this once per started job; scanning to
+        the first hit avoids materialising the full candidate list that
+        :meth:`candidates` builds for free-choice policies.
+        """
+        free = self._cluster.available_nodes
+        reserved_id = reservation.job_id
+        for job in jobs:
+            if job.job_id != reserved_id and reservation.allows(job, now, free):
+                return job
+        return None

@@ -49,6 +49,12 @@ class Cluster:
         self._avail_at = np.zeros(self.num_nodes, dtype=np.float64)
         #: job id -> allocated node indices
         self._alloc: dict[int, np.ndarray] = {}
+        #: cached count of free nodes, maintained by every mutation of
+        #: ``_job_of`` (``available_nodes`` is read on every scheduler
+        #: pass; recounting the array there dominated small-run cost).
+        #: The node-conservation sanitizer recomputes used/down counts,
+        #: so ``used + free + down == total`` cross-checks this cache.
+        self._free_count = self.num_nodes
         #: running node-seconds of *actual* useful work accumulated by
         #: finished jobs, used by utilization accounting.
         self._used_node_seconds = 0.0
@@ -70,7 +76,7 @@ class Cluster:
     @property
     def available_nodes(self) -> int:
         """Number of currently free (up and unoccupied) nodes."""
-        return int(np.count_nonzero(self._job_of == _FREE))
+        return self._free_count
 
     @property
     def used_nodes(self) -> int:
@@ -176,6 +182,27 @@ class Cluster:
         releases = self.estimated_release_times(now)
         return self.available_nodes + int(np.searchsorted(releases, when, side="right"))
 
+    def reservation_point(self, size: int, now: float) -> tuple[float, int]:
+        """``(shadow_time, free_nodes_at(shadow_time))`` in one pass.
+
+        Equivalent to calling :meth:`shadow_time` then
+        :meth:`free_nodes_at` at that shadow, but sorts the estimated
+        release times once instead of twice — this pair is computed for
+        the queue head on every EASY-backfill scheduler pass.
+        """
+        if size > self.num_nodes:
+            raise ValueError(
+                f"job size {size} exceeds cluster size {self.num_nodes}"
+            )
+        free = self._free_count
+        releases = self.estimated_release_times(now)
+        if size <= free:
+            shadow = now
+        else:
+            shadow = float(releases[size - free - 1])
+        free_at = free + int(np.searchsorted(releases, shadow, side="right"))
+        return shadow, free_at
+
     # -- allocation -------------------------------------------------------------
     def allocate(self, job: Job, now: float) -> np.ndarray:
         """Assign the lowest-indexed free nodes to ``job``.
@@ -194,6 +221,7 @@ class Cluster:
         self._job_of[chosen] = job.job_id
         self._avail_at[chosen] = now + job.walltime
         self._alloc[job.job_id] = chosen
+        self._free_count -= job.size
         if self.sanitize_active:
             _san.check_node_conservation(self, f"allocate(job {job.job_id})")
         return chosen.copy()
@@ -206,6 +234,7 @@ class Cluster:
             raise RuntimeError(f"job {job.job_id} is not allocated") from None
         self._job_of[nodes] = _FREE
         self._avail_at[nodes] = 0.0
+        self._free_count += len(nodes)
         self._used_node_seconds += job.node_seconds
         if self.sanitize_active:
             _san.check_node_conservation(self, f"release(job {job.job_id})")
@@ -224,6 +253,7 @@ class Cluster:
             raise RuntimeError(f"job {job.job_id} is not allocated") from None
         self._job_of[nodes] = _FREE
         self._avail_at[nodes] = 0.0
+        self._free_count += len(nodes)
         if job.start_time is not None:
             self._wasted_node_seconds += job.size * max(0.0, now - job.start_time)
         if self.sanitize_active:
@@ -232,17 +262,21 @@ class Cluster:
 
     # -- faults -----------------------------------------------------------------
     def fail_nodes(self, nodes: np.ndarray | list[int], now: float,
-                   expected_up_at: float) -> None:
+                   expected_up_at: "float | np.ndarray") -> None:
         """Take currently-free ``nodes`` down until ``expected_up_at``.
 
-        Callers must evacuate occupying jobs first (the engine kills
-        them via :meth:`release_killed`); failing an occupied or
-        already-down node is a programming error and raises.
+        ``expected_up_at`` is a scalar, or an array giving each node its
+        own expected repair time (one failure event can take a whole
+        blade down with independent repairs).  Callers must evacuate
+        occupying jobs first (the engine kills them via
+        :meth:`release_killed`); failing an occupied or already-down
+        node is a programming error and raises.
         """
         idx = np.asarray(nodes, dtype=np.int64)
         if idx.size == 0:
             return
-        if expected_up_at < now:
+        expected_up_at = np.asarray(expected_up_at, dtype=np.float64)
+        if np.any(expected_up_at < now):
             raise ValueError(
                 f"expected_up_at {expected_up_at} precedes now {now}"
             )
@@ -254,6 +288,7 @@ class Cluster:
             )
         self._job_of[idx] = _DOWN
         self._avail_at[idx] = expected_up_at
+        self._free_count -= int(idx.size)
         for node in idx:
             self._down_since[int(node)] = now
         if self.sanitize_active:
@@ -272,6 +307,7 @@ class Cluster:
             )
         self._job_of[idx] = _FREE
         self._avail_at[idx] = 0.0
+        self._free_count += int(idx.size)
         for node in idx:
             since = self._down_since.pop(int(node))
             self._lost_node_seconds += max(0.0, now - since)
@@ -317,6 +353,7 @@ class Cluster:
         self._job_of.fill(_FREE)
         self._avail_at.fill(0.0)
         self._alloc.clear()
+        self._free_count = self.num_nodes
         self._used_node_seconds = 0.0
         self._wasted_node_seconds = 0.0
         self._lost_node_seconds = 0.0

@@ -54,7 +54,7 @@ class ActionKind(enum.Enum):
     RESERVE = "reserve"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Action:
     """A record of one scheduling action (kept for observers/analysis)."""
 
@@ -78,6 +78,8 @@ class Observer(Protocol):
 
 class SchedulingView:
     """The policy-facing interface of one scheduling instance."""
+
+    __slots__ = ("_engine", "_started", "_reservation", "_reserved_job")
 
     def __init__(self, engine: "Engine") -> None:
         self._engine = engine
@@ -137,6 +139,21 @@ class SchedulingView:
         jobs = self.waiting() if pool is None else pool
         return self._engine.planner.candidates(jobs, self._reservation, self.now)
 
+    def backfill_first(self, pool: list[Job] | None = None) -> Job | None:
+        """The first legal backfill candidate, or ``None``.
+
+        Equivalent to ``backfill_candidates(pool)[0]`` (with the empty
+        case mapped to ``None``) but stops scanning at the first hit —
+        the fast path for first-fit policies like FCFS/EASY.
+        """
+        if self._reservation is None:
+            raise SimulationError("backfill_first requires a reservation")
+        # the live list is safe here: first_candidate only scans, and
+        # the scan completes before the caller can start anything
+        jobs = self._engine.queue.peek_waiting() if pool is None else pool
+        return self._engine.planner.first_candidate(
+            jobs, self._reservation, self.now)
+
     # -- actions ----------------------------------------------------------------
     def start(self, job: Job, mode: ExecMode | None = None) -> Job:
         """Start ``job`` now.
@@ -189,7 +206,9 @@ class SchedulingView:
         job.ever_reserved = True
         self._reservation = reservation
         self._reserved_job = job
-        self._engine._record(Action(ActionKind.RESERVE, job.job_id, self.now))
+        if self._engine._record_actions:
+            self._engine._actions.append(
+                Action(ActionKind.RESERVE, job.job_id, self.now))
         self._engine._m_reservations.value += 1
         if self._engine._run_tracer is not None:
             self._engine._run_tracer.event(
@@ -213,7 +232,7 @@ class Scheduler(Protocol):
     def schedule(self, view: SchedulingView) -> None: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Outcome of one simulation run."""
 
@@ -392,10 +411,6 @@ class Engine:
         return _profile.global_profiler()
 
     # -- internal hooks used by the view ----------------------------------------
-    def _record(self, action: Action) -> None:
-        if self._record_actions:
-            self._actions.append(action)
-
     def _start_job(self, job: Job, mode: ExecMode) -> None:
         if self.sanitize_active:
             _san.check_job_start(job, self.now, self._running)
@@ -406,7 +421,9 @@ class Engine:
         self._finish_events[job.job_id] = self.events.push(
             self.now + job.runtime, EventKind.FINISH, job.job_id
         )
-        self._record(Action(ActionKind.START, job.job_id, self.now, mode))
+        if self._record_actions:
+            self._actions.append(Action(ActionKind.START, job.job_id,
+                                        self.now, mode))
         self._m_starts.value += 1
         if self._run_tracer is not None:
             self._run_tracer.event(
@@ -492,11 +509,15 @@ class Engine:
         for job_id in killed:
             self._kill_job(self._jobs[job_id], cause="node_fail")
         inj.counters.node_failures += 1
-        for node, repair in zip(victims.tolist(), repairs):
-            up_at = self.now + repair
-            self.cluster.fail_nodes([node], self.now, up_at)
-            self.events.push(up_at, EventKind.NODE_REPAIR, node=node)
-            inj.counters.nodes_failed += 1
+        n_victims = int(victims.size)
+        if n_victims:
+            # one vectorized down-transition for the whole blade; the
+            # repair events keep per-victim push order (stable seq ids)
+            up_ats = self.now + np.asarray(repairs[:n_victims], dtype=np.float64)
+            self.cluster.fail_nodes(victims, self.now, up_ats)
+            for node, up_at in zip(victims.tolist(), up_ats.tolist()):
+                self.events.push(up_at, EventKind.NODE_REPAIR, node=node)
+            inj.counters.nodes_failed += n_victims
         if self._run_tracer is not None:
             self._run_tracer.event(
                 "engine.node_fail", t=self.now, nodes=victims.tolist(),
@@ -570,26 +591,39 @@ class Engine:
         if isinstance(sched_metrics, MetricsRegistry):
             sched_metrics.alias("schedule_s", self._m_schedule)
             sched_metrics.alias("instances", self._m_instances)
+        # loop-invariant reads hoisted out of the event loop (each is
+        # consulted once or more per batch)
+        events = self.events
+        max_time = self.max_time
+        max_events = self.max_events
+        max_wall_s = self.max_wall_s
+        cluster = self.cluster
+        # pin the cluster's env-var sanitize decision for the run: it is
+        # consulted on every allocate/release, and resolving the env var
+        # each time is measurable; restored in the finally below
+        pin_cluster_sanitize = cluster._sanitize is None
+        if pin_cluster_sanitize:
+            cluster._sanitize = sanitize_active
         events_seen = 0
-        wall_start = _perf_counter() if self.max_wall_s is not None else 0.0
+        wall_start = _perf_counter() if max_wall_s is not None else 0.0
         try:
             if prof is not None:
                 prof.push("engine.run")
-            while self.events and self._jobs_remaining > 0:
-                if self.max_time is not None \
-                        and self.events.peek().time > self.max_time:
+            while events and self._jobs_remaining > 0:
+                if max_time is not None \
+                        and events.peek().time > max_time:
                     break
-                batch = self.events.pop_simultaneous()
+                batch = events.pop_simultaneous()
                 events_seen += len(batch)
-                if self.max_events is not None and events_seen > self.max_events:
+                if max_events is not None and events_seen > max_events:
                     raise SimulationError(self._runaway_diagnostics(
                         f"processed {events_seen} events "
-                        f"(max_events={self.max_events})", batch[0].time,
+                        f"(max_events={max_events})", batch[0].time,
                     ))
-                if self.max_wall_s is not None \
-                        and _perf_counter() - wall_start > self.max_wall_s:
+                if max_wall_s is not None \
+                        and _perf_counter() - wall_start > max_wall_s:
                     raise SimulationError(self._runaway_diagnostics(
-                        f"exceeded the {self.max_wall_s}s wall-clock "
+                        f"exceeded the {max_wall_s}s wall-clock "
                         f"deadline after {events_seen} events", batch[0].time,
                     ))
                 if sanitize_active:
@@ -639,6 +673,8 @@ class Engine:
         finally:
             # durability: never lose the buffered trace tail, and never
             # leak open profile scopes, even when the policy raises
+            if pin_cluster_sanitize:
+                cluster._sanitize = None
             if prof is not None:
                 prof.pop_to(prof_depth)
             if tracer is not None:

@@ -15,7 +15,6 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
 
 
 class EventKind(enum.IntEnum):
@@ -38,7 +37,6 @@ class EventKind(enum.IntEnum):
     JOB_KILL = 4
 
 
-@dataclass(order=True)
 class Event:
     """One timestamped occurrence (job finish/submit, node fail/repair).
 
@@ -48,14 +46,41 @@ class Event:
     subject job for job events and ``node`` the subject node for node
     events; the unused field stays ``-1``.  ``cancelled`` marks an
     event as dead without removing it from the heap.
+
+    A plain ``__slots__`` class rather than a dataclass: the heap holds
+    one instance per simulated event, so construction and ``__lt__``
+    are on the hottest path of the whole simulator.
     """
 
-    time: float
-    kind: EventKind
-    seq: int = field(compare=True)
-    job_id: int = field(compare=False, default=-1)
-    node: int = field(compare=False, default=-1)
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "kind", "seq", "job_id", "node", "cancelled")
+
+    def __init__(self, time: float, kind: EventKind, seq: int,
+                 job_id: int = -1, node: int = -1,
+                 cancelled: bool = False) -> None:
+        self.time = time
+        self.kind = kind
+        self.seq = seq
+        self.job_id = job_id
+        self.node = node
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:  # repro: noqa[float-time-eq]
+            return self.time < other.time
+        if self.kind != other.kind:
+            return self.kind < other.kind
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time == other.time and self.kind == other.kind  # repro: noqa[float-time-eq]
+                and self.seq == other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event(time={self.time!r}, kind={self.kind!r}, "
+                f"seq={self.seq!r}, job_id={self.job_id!r}, "
+                f"node={self.node!r}, cancelled={self.cancelled!r})")
 
 
 class EventQueue:
@@ -88,8 +113,9 @@ class EventQueue:
 
     def _prune(self) -> None:
         """Drop cancelled events from the top of the heap."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
 
     def pop(self) -> Event:
         """Remove and return the earliest live event."""

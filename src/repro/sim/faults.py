@@ -167,7 +167,7 @@ class FaultConfig:
         return cls(**values)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResilienceMetrics:
     """End-of-run summary of fault impact and graceful degradation.
 
@@ -203,7 +203,7 @@ class ResilienceMetrics:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultCounters:
     """Running tallies of what the fault model has done so far."""
 

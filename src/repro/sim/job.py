@@ -40,7 +40,7 @@ def _next_job_id() -> int:
     return next(_id_counter)
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """A rigid batch job.
 

@@ -33,6 +33,8 @@ class ResourceProfile:
     segment extends to infinity.
     """
 
+    __slots__ = ("_times", "_free", "num_nodes")
+
     def __init__(self, times: list[float], free: list[int], num_nodes: int) -> None:
         if num_nodes <= 0:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
@@ -114,14 +116,15 @@ class ResourceProfile:
         end = start + duration
         self._insert_breakpoint(start)
         self._insert_breakpoint(end)
+        free = self._free
         for i, t in enumerate(self._times):
             if start <= t < end:
-                if self._free[i] < size:
+                if free[i] < size:
                     raise ValueError(
                         f"reservation of {size} nodes at t={t} exceeds free "
-                        f"{self._free[i]}"
+                        f"{free[i]}"
                     )
-                self._free[i] -= size
+                free[i] -= size
 
     def _insert_breakpoint(self, t: float) -> None:
         if math.isinf(t):

@@ -93,11 +93,13 @@ class WaitQueue:
         """
         self._dead.add(job.job_id)
         doomed: list[Job] = []
+        # the per-round rebuilds below run only when a job is abandoned
+        # by a fault (rare by construction), never per event
         while True:
-            newly = [j for j in self._held if self._deps_dead(j)]
+            newly = [j for j in self._held if self._deps_dead(j)]  # repro: noqa[hot-loop-alloc]
             if not newly:
                 break
-            self._held = [j for j in self._held if not self._deps_dead(j)]
+            self._held = [j for j in self._held if not self._deps_dead(j)]  # repro: noqa[hot-loop-alloc]
             for j in newly:
                 self._dead.add(j.job_id)
             doomed.extend(newly)
@@ -113,10 +115,15 @@ class WaitQueue:
     # -- scheduling access ---------------------------------------------------
     def remove(self, job: Job) -> None:
         """Remove a job that has been selected to start."""
-        try:
-            self._waiting.remove(job)
-        except ValueError:
-            raise RuntimeError(f"job {job.job_id} is not waiting") from None
+        # identity scan: ``list.remove`` would compare dataclass fields
+        # pairwise down the queue, and the engine only ever removes the
+        # exact object it was handed
+        waiting = self._waiting
+        for i, queued in enumerate(waiting):
+            if queued is job:
+                del waiting[i]
+                return
+        raise RuntimeError(f"job {job.job_id} is not waiting")
 
     def window(self, size: int) -> list[Job]:
         """The ``size`` oldest eligible jobs (the paper's window)."""
@@ -124,10 +131,21 @@ class WaitQueue:
             raise ValueError(f"window size must be positive, got {size}")
         return self._waiting[:size]
 
+    def peek_waiting(self) -> list[Job]:
+        """The live waiting list (read-only; NOT safe across mutation).
+
+        Engine-internal fast path: callers must not mutate it and must
+        not hold it across :meth:`remove`/:meth:`submit`.  Policies go
+        through the copying :attr:`waiting` instead.
+        """
+        return self._waiting
+
     @property
     def waiting(self) -> list[Job]:
         """All eligible jobs in arrival order (a copy)."""
-        return list(self._waiting)
+        # the copy is the safety contract: policies iterate this while
+        # starting jobs, which mutates the underlying queue
+        return list(self._waiting)  # repro: noqa[hot-rebuild]
 
     @property
     def held(self) -> list[Job]:

@@ -1,0 +1,400 @@
+"""Tests for the intraprocedural CFG/dataflow engine (``repro.check.flow``).
+
+Exercises the soundness conventions documented in the module: exception
+edges keep handler-observed stores live, nested-scope reads are ambient,
+zero-trip loops preserve prior stores, and only plain non-underscore
+``name = value`` targets are candidate dead stores.  Also covers the
+loop-depth and allocation classifiers the RPR5xx rules are built on.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.check.flow import (
+    ALLOC_CTORS,
+    FunctionFlow,
+    allocations,
+    ambient_names,
+    build_cfg,
+    loop_depths,
+)
+
+
+def fn_from(source: str, name: str | None = None) -> ast.FunctionDef:
+    """Parse ``source`` and return the (named) function definition."""
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if name is None or node.name == name:
+                return node
+    raise AssertionError(f"no function {name!r} in source")
+
+
+def dead_names(source: str) -> list[tuple[str, int]]:
+    """``(name, lineno)`` of every dead store found in ``source``."""
+    flow = FunctionFlow(fn_from(source))
+    return [(ds.name, ds.lineno) for ds in flow.dead_stores()]
+
+
+class TestCFG:
+    def test_rejects_non_function(self):
+        with pytest.raises(TypeError, match="function definition"):
+            build_cfg(ast.parse("x = 1").body[0])
+
+    def test_straight_line_reaches_exit(self):
+        cfg = build_cfg(fn_from("def f():\n    a = 1\n    return a\n"))
+        assert cfg.entry is not cfg.exit
+        # exit is reachable from entry through the successor edges
+        seen, frontier = set(), [cfg.entry.id]
+        while frontier:
+            bid = frontier.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            frontier.extend(cfg.blocks[bid].succs)
+        assert cfg.exit.id in seen
+
+    def test_preds_mirror_succs(self):
+        cfg = build_cfg(fn_from("""
+            def f(c):
+                if c:
+                    return 1
+                return 2
+        """))
+        preds = cfg.preds()
+        for block in cfg.blocks:
+            for succ in block.succs:
+                assert block.id in preds[succ]
+
+
+class TestDeadStores:
+    def test_overwritten_store_is_dead(self):
+        assert dead_names("""
+            def f():
+                x = 1
+                x = 2
+                return x
+        """) == [("x", 3)]
+
+    def test_store_never_read_is_dead(self):
+        assert dead_names("""
+            def f(a):
+                result = a + 1
+                return a
+        """) == [("result", 3)]
+
+    def test_underscore_names_exempt(self):
+        assert dead_names("""
+            def f(pairs):
+                _unused = 1
+                return len(pairs)
+        """) == []
+
+    def test_augmented_assign_not_flaggable_and_keeps_base_live(self):
+        # x += 1 both reads x (so x = 0 is live) and is itself exempt
+        assert dead_names("""
+            def f():
+                x = 0
+                x += 1
+        """) == []
+
+    def test_tuple_unpacking_exempt(self):
+        assert dead_names("""
+            def f(pair):
+                a, b = pair
+                return 0
+        """) == []
+
+    def test_conditional_read_keeps_store_live(self):
+        assert dead_names("""
+            def f(c):
+                x = 1
+                if c:
+                    return x
+                return 0
+        """) == []
+
+    def test_zero_trip_for_loop_keeps_prior_store_live(self):
+        # the loop target binds only on the iterating path, so the
+        # pre-loop store must survive an empty iterable
+        assert dead_names("""
+            def f(xs):
+                x = -1
+                for x in xs:
+                    pass
+                return x
+        """) == []
+
+    def test_store_read_only_in_except_handler_is_live(self):
+        assert dead_names("""
+            def f(a, risky):
+                x = a + 1
+                try:
+                    risky()
+                except ValueError:
+                    return x
+                return 0
+        """) == []
+
+    def test_exception_between_try_statements_keeps_first_store_live(self):
+        # risky() may raise after x = 1 and before x = 2; the handler
+        # then observes the first store, so neither is dead
+        assert dead_names("""
+            def f(risky):
+                try:
+                    x = 1
+                    risky()
+                    x = 2
+                except Exception:
+                    return x
+                return x
+        """) == []
+
+    def test_unread_store_in_finally_is_dead(self):
+        assert dead_names("""
+            def f(g):
+                try:
+                    g()
+                finally:
+                    leftover = 1
+                return 0
+        """) == [("leftover", 6)]
+
+    def test_while_else_reads_keep_store_live(self):
+        assert dead_names("""
+            def f(n):
+                total = 0
+                while n > 0:
+                    n -= 1
+                else:
+                    return total
+        """) == []
+
+    def test_break_edge_keeps_store_live(self):
+        assert dead_names("""
+            def f(items):
+                found = None
+                for item in items:
+                    if item:
+                        found = item
+                        break
+                return found
+        """) == []
+
+    def test_unread_store_before_break_is_dead(self):
+        assert dead_names("""
+            def f(items, compute):
+                for item in items:
+                    x = compute(item)
+                    break
+                return 0
+        """) == [("x", 4)]
+
+    def test_continue_path_keeps_loop_carried_store_live(self):
+        assert dead_names("""
+            def f(items):
+                prev = 0
+                for item in items:
+                    if item < 0:
+                        continue
+                    prev = prev + item
+                return prev
+        """) == []
+
+    def test_nested_function_read_is_ambient(self):
+        assert dead_names("""
+            def f():
+                x = 1
+                def g():
+                    return x
+                return g
+        """) == []
+
+    def test_lambda_read_is_ambient(self):
+        assert dead_names("""
+            def f():
+                factor = 2
+                return lambda v: v * factor
+        """) == []
+
+    def test_global_declaration_is_ambient(self):
+        assert dead_names("""
+            def f():
+                global cfg
+                cfg = 1
+        """) == []
+
+    def test_store_read_only_inside_comprehension(self):
+        assert dead_names("""
+            def f(rows):
+                width = len(rows)
+                return [r * width for r in rows]
+        """) == []
+
+    def test_genexp_result_stored_then_dropped_is_dead(self):
+        assert dead_names("""
+            def f(rows):
+                squares = [r * r for r in rows]
+                return len(rows)
+        """) == [("squares", 3)]
+
+
+class TestAmbientNames:
+    def test_collects_nested_scope_loads_and_globals(self):
+        fn = fn_from("""
+            def f():
+                global shared
+                x = 1
+                def g():
+                    return x + other
+                h = lambda: captured
+                return g, h
+        """)
+        ambient = ambient_names(fn)
+        assert {"shared", "x", "other", "captured"} <= ambient
+
+
+class TestReaching:
+    def test_both_branch_definitions_reach_the_join(self):
+        fn = fn_from("""
+            def f(c):
+                x = 1
+                if c:
+                    x = 2
+                return x
+        """)
+        flow = FunctionFlow(fn)
+        reach_in, _ = flow.reaching()
+        return_block = next(
+            b for b in flow.cfg.blocks
+            if any(isinstance(e.node, ast.Return) for e in b.entries)
+        )
+        sites = {d for d in reach_in[return_block.id] if d[0] == "x"}
+        assert sites == {("x", 3), ("x", 5)}
+
+    def test_parameters_reach_the_body(self):
+        fn = fn_from("""
+            def f(c):
+                return c
+        """)
+        flow = FunctionFlow(fn)
+        _, reach_out = flow.reaching()
+        assert ("c", 2) in reach_out[flow.cfg.entry.id]
+
+
+class TestLoopDepths:
+    def test_nested_for_and_iter_depths(self):
+        fn = fn_from("""
+            def f(rows):
+                for row in rows:
+                    for cell in row:
+                        touch(cell)
+                    finish(row)
+        """)
+        depths = loop_depths(fn)
+        by_line = {getattr(n, "lineno", 0): d for n, d in depths.items()
+                   if isinstance(n, ast.Call)}
+        assert by_line[5] == 2  # touch(cell) in the inner body
+        assert by_line[6] == 1  # finish(row) in the outer body
+        outer, inner = [n for n in ast.walk(fn) if isinstance(n, ast.For)]
+        assert depths[outer.iter] == 0  # rows evaluated once
+        assert depths[inner.iter] == 1  # row evaluated per outer iteration
+
+    def test_for_else_stays_at_surrounding_depth(self):
+        fn = fn_from("""
+            def f(xs):
+                for x in xs:
+                    step(x)
+                else:
+                    wrap_up()
+        """)
+        depths = loop_depths(fn)
+        calls = {n.func.id: d for n, d in depths.items()
+                 if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)}
+        assert calls == {"step": 1, "wrap_up": 0}
+
+    def test_while_test_and_body_are_inside_the_loop(self):
+        fn = fn_from("""
+            def f(q):
+                while check(q):
+                    drain(q)
+        """)
+        depths = loop_depths(fn)
+        calls = {n.func.id: d for n, d in depths.items()
+                 if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)}
+        assert calls == {"check": 1, "drain": 1}
+
+    def test_comprehension_generators_nest_incrementally(self):
+        fn = fn_from("""
+            def f(m):
+                return [y for row in m for y in row]
+        """)
+        depths = loop_depths(fn)
+        comp = next(n for n in ast.walk(fn) if isinstance(n, ast.ListComp))
+        assert depths[comp.elt] == 2
+        assert depths[comp.generators[0].iter] == 0
+        assert depths[comp.generators[1].iter] == 1
+
+    def test_nested_function_body_resets_to_zero(self):
+        fn = fn_from("""
+            def f(xs):
+                for x in xs:
+                    def g():
+                        return helper()
+                    h = lambda: other()
+                    use(g, h, x)
+        """, name="f")
+        depths = loop_depths(fn)
+        calls = {n.func.id: d for n, d in depths.items()
+                 if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)}
+        # the definitions sit inside the loop, but their bodies run when
+        # called, not where defined
+        assert calls["helper"] == 0
+        assert calls["other"] == 0
+        assert calls["use"] == 1
+
+
+class TestAllocations:
+    def test_classifies_displays_comprehensions_and_ctors(self):
+        fn = fn_from("""
+            def f(xs):
+                a = [1]
+                b = {1}
+                c = {"k": 1}
+                d = [x for x in xs]
+                e = {x for x in xs}
+                g = {x: x for x in xs}
+                h = list(xs)
+                i = set(xs)
+                return a, b, c, d, e, g, h, i
+        """)
+        kinds = [kind for _, kind in allocations(fn)]
+        assert kinds == [
+            "list display", "set display", "dict display",
+            "list comprehension", "set comprehension", "dict comprehension",
+            "list() constructor call", "set() constructor call",
+        ]
+
+    def test_tuples_and_genexps_are_excluded(self):
+        fn = fn_from("""
+            def f(xs):
+                pair = (1, 2)
+                lazy = (x for x in xs)
+                t = tuple(xs)
+                return pair, lazy, t
+        """)
+        assert allocations(fn) == []
+        assert "tuple" not in ALLOC_CTORS
+
+    def test_sorted_by_position(self):
+        fn = fn_from("""
+            def f(xs):
+                return list(xs), [0], {1}
+        """)
+        found = allocations(fn)
+        positions = [(n.lineno, n.col_offset) for n, _ in found]
+        assert positions == sorted(positions)

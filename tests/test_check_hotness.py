@@ -1,0 +1,363 @@
+"""Tests for the profile-guided hotness model (``repro.check.hotness``).
+
+Covers baseline I/O and discovery, static call-graph resolution
+(``self.m()`` dispatch, import-qualified calls, bounded name matching
+with the common-method blocklist), anchor-and-decay score propagation
+on scratch trees — which must be packages literally named ``repro``,
+because :data:`SCOPE_ANCHORS` hard-codes the reproduction's qualnames —
+and a golden stability test of the ranking over the real tree against
+the committed ``profile_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.hotness import (
+    BASELINE_ENV,
+    DECAY,
+    HOT_THRESHOLD,
+    MIN_ANCHOR_CALLS,
+    PROFILE_BASELINE_SCHEMA,
+    build_call_graph,
+    compute_hotness,
+    find_profile_baseline,
+    format_ranking,
+    hotness_for_project,
+    index_functions,
+    load_profile_baseline,
+)
+from repro.check.project import ProjectModel
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return root
+
+
+def baseline_doc(**calls: int) -> dict:
+    return {
+        "schema": PROFILE_BASELINE_SCHEMA,
+        "scopes": [{"name": name, "calls": count, "total_s": 0.0}
+                   for name, count in calls.items()],
+    }
+
+
+#: a minimal tree replicating the anchor qualnames hard-coded in
+#: SCOPE_ANCHORS — the package must literally be named ``repro``
+ANCHOR_TREE = {
+    "repro/__init__.py": "",
+    "repro/sim/__init__.py": "",
+    "repro/sim/engine.py": """
+        from repro.sim.helpers import step_once
+
+        class Engine:
+            def run(self, jobs):
+                for job in jobs:
+                    step_once(job)
+
+            def idle_report(self):
+                return 0
+    """,
+    "repro/sim/helpers.py": """
+        def step_once(job):
+            return tally(job)
+
+        def tally(job):
+            return settle(job)
+
+        def settle(job):
+            return deep(job)
+
+        def deep(job):
+            return job + 1
+
+        def never_called():
+            return -1
+    """,
+}
+
+
+@pytest.fixture()
+def no_baseline_env(monkeypatch):
+    monkeypatch.delenv(BASELINE_ENV, raising=False)
+
+
+class TestBaselineIO:
+    def test_load_valid_baseline(self, tmp_path):
+        path = tmp_path / "profile_baseline.json"
+        path.write_text(json.dumps(baseline_doc(**{"engine.run": 4000,
+                                                   "nn.forward": 30})))
+        assert load_profile_baseline(path) == {"engine.run": 4000,
+                                               "nn.forward": 30}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": "something/else", "scopes": []}))
+        with pytest.raises(ValueError, match="expected schema"):
+            load_profile_baseline(path)
+
+    def test_load_rejects_non_list_scopes(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": PROFILE_BASELINE_SCHEMA,
+                                    "scopes": {"engine.run": 1}}))
+        with pytest.raises(ValueError, match="must be a list"):
+            load_profile_baseline(path)
+
+    def test_load_rejects_malformed_entry(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": PROFILE_BASELINE_SCHEMA,
+                                    "scopes": [{"name": "engine.run"}]}))
+        with pytest.raises(ValueError, match="malformed scope entry"):
+            load_profile_baseline(path)
+
+
+class TestBaselineDiscovery:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        override = tmp_path / "elsewhere" / "b.json"
+        override.parent.mkdir()
+        override.write_text("{}")
+        monkeypatch.setenv(BASELINE_ENV, str(override))
+        assert find_profile_baseline(tmp_path) == override
+
+    @pytest.mark.parametrize("value", ["", "off", "0", "none", " OFF "])
+    def test_env_disable_values(self, tmp_path, monkeypatch, value):
+        (tmp_path / "profile_baseline.json").write_text("{}")
+        monkeypatch.setenv(BASELINE_ENV, value)
+        assert find_profile_baseline(tmp_path) is None
+
+    def test_env_pointing_at_missing_file_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BASELINE_ENV, str(tmp_path / "missing.json"))
+        assert find_profile_baseline(tmp_path) is None
+
+    def test_found_in_root(self, tmp_path, no_baseline_env):
+        target = tmp_path / "profile_baseline.json"
+        target.write_text("{}")
+        assert find_profile_baseline(tmp_path) == target
+
+    def test_upward_walk_reaches_repo_root(self, tmp_path, no_baseline_env):
+        # mirrors the real src/<package> layout: baseline two levels up
+        target = tmp_path / "profile_baseline.json"
+        target.write_text("{}")
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        assert find_profile_baseline(pkg) == target
+
+    def test_nothing_found(self, tmp_path, no_baseline_env):
+        assert find_profile_baseline(tmp_path / "empty") is None
+        assert find_profile_baseline(None) is None
+
+
+class TestCallGraph:
+    def test_self_dispatch_includes_subclass_overrides(self, tmp_path):
+        root = write_tree(tmp_path / "pkg", {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                class Base:
+                    def run(self):
+                        return self.helper()
+
+                    def helper(self):
+                        return 1
+
+                class Child(Base):
+                    def helper(self):
+                        return 2
+            """,
+        })
+        project = ProjectModel.load(root / "pkg", package="pkg")
+        index = index_functions(project)
+        graph = build_call_graph(project, index)
+        assert set(graph.edges["pkg.mod.Base.run"]) == {
+            "pkg.mod.Base.helper", "pkg.mod.Child.helper"}
+
+    def test_imported_name_call_and_instantiation(self, tmp_path):
+        root = write_tree(tmp_path / "pkg", {
+            "pkg/__init__.py": "",
+            "pkg/lib.py": """
+                class Widget:
+                    def __init__(self):
+                        self.x = 1
+
+                def make():
+                    return 0
+            """,
+            "pkg/app.py": """
+                from pkg.lib import Widget, make
+
+                def build():
+                    make()
+                    return Widget()
+            """,
+        })
+        project = ProjectModel.load(root / "pkg", package="pkg")
+        index = index_functions(project)
+        graph = build_call_graph(project, index)
+        assert "pkg.lib.make" in graph.edges["pkg.app.build"]
+        assert "pkg.lib.Widget.__init__" in graph.edges["pkg.app.build"]
+        assert graph.instantiated["pkg.app.build"] == ("pkg.lib.Widget",)
+
+    def test_common_method_names_never_name_match(self, tmp_path):
+        root = write_tree(tmp_path / "pkg", {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                class Store:
+                    def append(self, item):
+                        return item
+
+                    def recompute(self):
+                        return 0
+
+                def caller(q):
+                    q.append(1)
+                    return q.recompute()
+            """,
+        })
+        project = ProjectModel.load(root / "pkg", package="pkg")
+        index = index_functions(project)
+        graph = build_call_graph(project, index)
+        edges = set(graph.edges["pkg.mod.caller"])
+        # append is on the ubiquitous-name blocklist; recompute is a
+        # unique project method, so bounded name matching resolves it
+        assert "pkg.mod.Store.append" not in edges
+        assert "pkg.mod.Store.recompute" in edges
+
+
+class TestComputeHotness:
+    def load_anchor_project(self, tmp_path):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        return ProjectModel.load(root / "repro", package="repro")
+
+    def test_anchor_and_decay_chain(self, tmp_path):
+        project = self.load_anchor_project(tmp_path)
+        hot = compute_hotness(project, {"engine.run": 4000})
+        assert hot.score("repro.sim.engine.Engine.run") == 1.0
+        assert hot.anchor_calls["repro.sim.engine.Engine.run"] == 4000
+        assert hot.score("repro.sim.helpers.step_once") == pytest.approx(DECAY)
+        assert hot.score("repro.sim.helpers.tally") == pytest.approx(DECAY ** 2)
+        # three hops: 0.125 — still above HOT_THRESHOLD
+        assert hot.is_hot("repro.sim.helpers.settle")
+        # four hops: 0.0625 — warm, not hot
+        assert hot.score("repro.sim.helpers.deep") == pytest.approx(DECAY ** 4)
+        assert hot.tier("repro.sim.helpers.deep") == "warm"
+        assert hot.tier("repro.sim.helpers.never_called") == "cold"
+        assert hot.tier("repro.sim.engine.Engine.idle_report") == "cold"
+        hot_quals = {fi.qualname for fi in hot.hot_functions()}
+        assert "repro.sim.engine.Engine.run" in hot_quals
+        assert "repro.sim.helpers.deep" not in hot_quals
+
+    def test_low_call_count_scope_does_not_anchor(self, tmp_path):
+        project = self.load_anchor_project(tmp_path)
+        hot = compute_hotness(project,
+                              {"engine.run": MIN_ANCHOR_CALLS - 1})
+        assert hot.scores == {}
+        assert hot.hot_functions() == []
+
+    def test_schedule_sentinel_anchors_every_scheduler(self, tmp_path):
+        root = write_tree(tmp_path / "tree", {
+            "repro/__init__.py": "",
+            "repro/schedulers/__init__.py": "",
+            "repro/schedulers/base.py": """
+                class BaseScheduler:
+                    def schedule(self, view):
+                        raise NotImplementedError
+            """,
+            "repro/schedulers/fcfs.py": """
+                from repro.schedulers.base import BaseScheduler
+
+                class FCFSEasy(BaseScheduler):
+                    def schedule(self, view):
+                        return None
+            """,
+        })
+        project = ProjectModel.load(root / "repro", package="repro")
+        hot = compute_hotness(project, {"engine.schedule": 4000})
+        assert hot.score("repro.schedulers.base.BaseScheduler.schedule") == 1.0
+        assert hot.score("repro.schedulers.fcfs.FCFSEasy.schedule") == 1.0
+
+
+class TestHotnessForProject:
+    def test_caches_computed_model(self, tmp_path, monkeypatch):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps(baseline_doc(**{"engine.run": 4000})))
+        monkeypatch.setenv(BASELINE_ENV, str(baseline))
+        project = ProjectModel.load(root / "repro", package="repro")
+        first = hotness_for_project(project)
+        assert first is not None
+        assert first.baseline_path == baseline.as_posix()
+        assert hotness_for_project(project) is first
+
+    def test_returns_none_without_baseline(self, tmp_path, monkeypatch):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        monkeypatch.setenv(BASELINE_ENV, "off")
+        project = ProjectModel.load(root / "repro", package="repro")
+        assert hotness_for_project(project) is None
+        # the None result is cached too
+        assert hotness_for_project(project) is None
+
+    def test_corrupt_baseline_degrades_to_none(self, tmp_path, monkeypatch):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({"schema": "wrong", "scopes": []}))
+        monkeypatch.setenv(BASELINE_ENV, str(baseline))
+        project = ProjectModel.load(root / "repro", package="repro")
+        assert hotness_for_project(project) is None
+
+
+class TestGoldenRanking:
+    """Stability of the ranking over the real tree + committed baseline."""
+
+    @pytest.fixture()
+    def real_hotness(self, no_baseline_env):
+        project = ProjectModel.load(SRC, package="repro")
+        hot = hotness_for_project(project)
+        assert hot is not None, "committed profile_baseline.json not found"
+        return hot
+
+    def test_committed_baseline_discovered_from_src_layout(self, real_hotness):
+        assert real_hotness.baseline_path == \
+            (REPO / "profile_baseline.json").as_posix()
+
+    def test_known_anchors_are_hot(self, real_hotness):
+        # engine.instance (4000 calls) anchors the engine entry points;
+        # engine.schedule anchors every scheduler's schedule method
+        assert real_hotness.score("repro.sim.engine.Engine.run") == 1.0
+        assert real_hotness.anchor_calls["repro.sim.engine.Engine.run"] == 4000
+        assert real_hotness.score(
+            "repro.schedulers.fcfs.FCFSEasy.schedule") == 1.0
+        assert real_hotness.is_hot("repro.nn.optim.Adam.step")
+
+    def test_known_cold_paths_stay_cold(self, real_hotness):
+        # the CLI entry point and the report renderer never sit on the
+        # per-event path
+        assert real_hotness.tier("repro.cli.main") == "cold"
+
+    def test_ranking_is_deterministic(self, no_baseline_env):
+        rankings = []
+        for _ in range(2):
+            project = ProjectModel.load(SRC, package="repro")
+            hot = hotness_for_project(project)
+            rankings.append(hot.ranking())
+        assert rankings[0] == rankings[1]
+        # hottest-first, stable tie-break by qualname
+        scores = [row[1] for row in rankings[0]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_format_ranking_table(self, real_hotness):
+        text = format_ranking(real_hotness, limit=5)
+        lines = text.splitlines()
+        assert lines[0].split() == ["score", "tier", "anchor", "calls",
+                                    "function"]
+        assert len(lines) == 6
+        assert "1.000" in lines[1]

@@ -1,0 +1,197 @@
+"""Tests for the RPR5xx profile-guided performance rules.
+
+Each rule is exercised on a scratch package literally named ``repro``
+(the hotness anchors hard-code the reproduction's qualnames) seeded
+with one violation per rule, with a ``profile_baseline.json`` anchoring
+``Engine.run``.  The gating contract — the whole family is silent when
+no baseline is discoverable — protects every other scratch-tree test
+in the suite, so it gets its own tests, as does ``# repro: noqa``
+suppression and the clean state of the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check import analyze_project
+from repro.check.hotness import BASELINE_ENV, PROFILE_BASELINE_SCHEMA
+from repro.check.lint import Violation
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+BASELINE = {
+    "schema": PROFILE_BASELINE_SCHEMA,
+    "scopes": [{"name": "engine.run", "calls": 4000, "total_s": 1.0}],
+}
+
+#: one deliberate violation per RPR5xx rule, all reachable from the
+#: ``engine.run`` anchor
+HOT_TREE = {
+    "repro/__init__.py": "",
+    "repro/sim/__init__.py": "",
+    "repro/sim/helpers.py": """
+        class Helper:
+            def __init__(self):
+                self.mass = 1.0
+
+        class Slotted:
+            __slots__ = ("x",)
+
+            def __init__(self):
+                self.x = 1.0
+    """,
+    "repro/sim/engine.py": """
+        from repro.sim.helpers import Helper, Slotted
+
+        class Engine:
+            def run(self, jobs):
+                total = 0.0
+                for job in jobs:
+                    buf = [job]
+                    helper = Helper()
+                    slotted = Slotted()
+                    total += self.cfg.weight + self.cfg.weight + self.cfg.weight
+                    total += len(buf) + helper.mass + slotted.x
+                total += self.accumulate(jobs)
+                return total + len(self.snapshot())
+
+            def snapshot(self):
+                return dict(self.state)
+
+            def accumulate(self, values):
+                total = 0.0
+                for v in set(values):
+                    total += v
+                return total
+
+
+        def leaky(a):
+            x = a + 1
+            x = a + 2
+            return x
+    """,
+}
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return root
+
+
+def rpr5(violations: list[Violation]) -> list[Violation]:
+    return [v for v in violations if v.rule_id.startswith("RPR5")]
+
+
+@pytest.fixture()
+def hot_tree(tmp_path, monkeypatch):
+    """The seeded tree with a discoverable anchor baseline."""
+    monkeypatch.delenv(BASELINE_ENV, raising=False)
+    root = write_tree(tmp_path, dict(HOT_TREE))
+    (tmp_path / "profile_baseline.json").write_text(json.dumps(BASELINE))
+    return root / "repro"
+
+
+class TestRulesFire:
+    def test_every_rule_fires_once_on_the_seeded_tree(self, hot_tree):
+        findings = rpr5(analyze_project(hot_tree))
+        assert {v.rule_id for v in findings} == {
+            "RPR501", "RPR502", "RPR503", "RPR504", "RPR505", "RPR506"}
+
+    def test_hot_loop_alloc_names_the_allocation(self, hot_tree):
+        findings = [v for v in rpr5(analyze_project(hot_tree))
+                    if v.rule_id == "RPR501"]
+        assert len(findings) == 1
+        assert "list display at loop depth 1" in findings[0].message
+        assert "Engine.run" in findings[0].message
+
+    def test_attr_hoist_counts_the_chain(self, hot_tree):
+        findings = [v for v in rpr5(analyze_project(hot_tree))
+                    if v.rule_id == "RPR502"]
+        assert len(findings) == 1
+        assert "'self.cfg.weight' read 3x" in findings[0].message
+
+    def test_rebuild_flags_the_hot_copy(self, hot_tree):
+        findings = [v for v in rpr5(analyze_project(hot_tree))
+                    if v.rule_id == "RPR503"]
+        assert len(findings) == 1
+        assert "dict(self.state)" in findings[0].message
+        # snapshot() is hot via the self-call edge from run
+        assert "Engine.snapshot" in findings[0].message
+
+    def test_no_slots_flags_helper_but_not_slotted(self, hot_tree):
+        findings = [v for v in rpr5(analyze_project(hot_tree))
+                    if v.rule_id == "RPR504"]
+        assert len(findings) == 1
+        assert "repro.sim.helpers.Helper" in findings[0].message
+        assert "Slotted" not in findings[0].message
+
+    def test_dead_store_reported_even_in_cold_function(self, hot_tree):
+        findings = [v for v in rpr5(analyze_project(hot_tree))
+                    if v.rule_id == "RPR505"]
+        assert len(findings) == 1
+        assert "'x' in repro.sim.engine.leaky" in findings[0].message
+
+    def test_float_accum_over_set_iteration(self, hot_tree):
+        findings = [v for v in rpr5(analyze_project(hot_tree))
+                    if v.rule_id == "RPR506"]
+        assert len(findings) == 1
+        assert "unordered set iteration" in findings[0].message
+        assert "Engine.accumulate" in findings[0].message
+
+
+class TestGating:
+    def test_silent_without_any_baseline(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BASELINE_ENV, raising=False)
+        root = write_tree(tmp_path, dict(HOT_TREE))
+        # no profile_baseline.json anywhere under tmp_path
+        assert rpr5(analyze_project(root / "repro")) == []
+
+    def test_env_off_silences_despite_local_baseline(self, hot_tree,
+                                                     monkeypatch):
+        monkeypatch.setenv(BASELINE_ENV, "off")
+        assert rpr5(analyze_project(hot_tree)) == []
+
+    def test_env_override_enables_remote_baseline(self, tmp_path, monkeypatch):
+        root = write_tree(tmp_path / "tree", dict(HOT_TREE))
+        baseline = tmp_path / "elsewhere" / "anchor.json"
+        baseline.parent.mkdir()
+        baseline.write_text(json.dumps(BASELINE))
+        monkeypatch.setenv(BASELINE_ENV, str(baseline))
+        findings = rpr5(analyze_project(root / "repro"))
+        assert {v.rule_id for v in findings} == {
+            "RPR501", "RPR502", "RPR503", "RPR504", "RPR505", "RPR506"}
+
+
+class TestSuppression:
+    def test_line_noqa_suppresses_one_finding(self, hot_tree):
+        engine = hot_tree / "sim" / "engine.py"
+        source = engine.read_text()
+        assert source.count("buf = [job]") == 1
+        engine.write_text(source.replace(
+            "buf = [job]", "buf = [job]  # repro: noqa[hot-loop-alloc]"))
+        findings = rpr5(analyze_project(hot_tree))
+        assert "RPR501" not in {v.rule_id for v in findings}
+        # the other five rules are unaffected
+        assert {v.rule_id for v in findings} == {
+            "RPR502", "RPR503", "RPR504", "RPR505", "RPR506"}
+
+
+class TestRealTree:
+    def test_committed_tree_is_rpr5_clean(self, monkeypatch):
+        """The ratchet baseline stays empty: the hot path is optimized.
+
+        This runs with the committed ``profile_baseline.json``
+        discovered from the src layout, exactly as ``repro check
+        --strict`` does in CI.
+        """
+        monkeypatch.delenv(BASELINE_ENV, raising=False)
+        findings = rpr5(analyze_project(SRC, package="repro"))
+        assert findings == []
