@@ -21,7 +21,13 @@ code under analysis** (no NumPy, no ``repro.nn``):
 3. it checks layer-to-layer shape compatibility (**RPR301**) and
    compares the abstract parameter totals against both the
    ``NetworkDims.param_count`` formula and the paper's Table III
-   literals in ``repro/experiments/table3.py`` (**RPR302**).
+   literals in ``repro/experiments/table3.py`` (**RPR302**),
+4. it re-derives the *batched* shape contract — the symbolic batch
+   dimension ``B`` must survive every layer so the network maps
+   ``[B, rows, 2] -> [B, outputs]`` for every Table III cell — and
+   verifies the DRAS agents route all inference through the batched
+   ``score_window`` entry point rather than ad-hoc
+   ``network.forward`` calls (**RPR303**).
 
 The Cori-DQL cell of Table III is internally inconsistent (DESIGN.md
 §4), so RPR302 checks that cell against the formula only, never against
@@ -49,6 +55,17 @@ from repro.check.project import (
 CONFIG_MODULE = "repro.core.config"
 NETWORK_MODULE = "repro.nn.network"
 TABLE3_MODULE = "repro.experiments.table3"
+
+#: the symbolic batch dimension carried through the abstract tensors
+BATCH_DIM = "B"
+
+#: agent modules whose inference must route through ``score_window``
+AGENT_MODULES = ("repro.core.dras_pg", "repro.core.dras_dql")
+
+#: the only functions allowed to call ``network.forward`` directly in
+#: the agent modules: the batched inference entry point and the batched
+#: training step (which stacks transitions into one minibatch forward)
+FORWARD_CALLERS = ("score_window", "update")
 
 #: Table III cells whose paper literal matches the architecture; the
 #: cori-dql literal is documented as inconsistent and is skipped.
@@ -102,6 +119,10 @@ class AbstractLayer:
     in_width: int | None = None
     out_width: int | None = None
     bias: bool = True
+    #: abstract tensor shapes around the layer; entries are ints,
+    #: ``BATCH_DIM`` for the symbolic batch axis, or None for unknown
+    in_shape: tuple | None = None
+    out_shape: tuple | None = None
 
     def param_count(self) -> int:
         """Trainable parameters this layer contributes."""
@@ -124,7 +145,18 @@ class NetworkSummary:
     layers: list[AbstractLayer] = field(default_factory=list)
     param_total: int | None = None
     output_width: int | None = None
+    #: the full abstract output shape, e.g. ``(BATCH_DIM, 50)``
+    output_shape: tuple | None = None
     findings: list[str] = field(default_factory=list)
+
+
+def format_shape(shape: tuple | None) -> str:
+    """Render an abstract shape tuple as ``[B, 4460, 2]``-style text."""
+    if shape is None:
+        return "?"
+    return "[" + ", ".join(
+        "?" if d is None else str(d) for d in shape
+    ) + "]"
 
 
 # -- configuration extraction ---------------------------------------------
@@ -310,19 +342,20 @@ def interpret_network(
         )
         return summary
     env = {k: float(v) for k, v in dims.items()}
-    # abstract input: [batch, rows, 2]
-    rank, width = 3, dims.get("rows")
+    # abstract input: [B, rows, 2] — the batch axis stays symbolic so
+    # RPR303 can prove every layer preserves it unchanged
+    shape: tuple = (BATCH_DIM, dims.get("rows"), 2)
     total = 0
     for call in calls:
         kind = call.func.id if isinstance(call.func, ast.Name) else "?"
-        layer = AbstractLayer(kind=kind, lineno=call.lineno)
+        layer = AbstractLayer(kind=kind, lineno=call.lineno, in_shape=shape)
         if kind == "Conv1x2":
-            if rank != 3:
+            if len(shape) != 3:
                 summary.findings.append(
                     f"line {call.lineno}: Conv1x2 expects a 3-D input "
-                    f"[B, rows, 2] but receives a {rank}-D tensor"
+                    f"[B, rows, 2] but receives a {len(shape)}-D tensor"
                 )
-            rank = 2  # [B, rows]
+            shape = shape[:2]  # [B, rows]
         elif kind == "Dense":
             in_w = _eval(call.args[0], env) if len(call.args) > 0 else None
             out_w = _eval(call.args[1], env) if len(call.args) > 1 else None
@@ -337,18 +370,19 @@ def interpret_network(
                 )
                 return summary
             layer.in_width, layer.out_width, layer.bias = int(in_w), int(out_w), bias
-            if rank != 2:
+            width = shape[-1] if shape else None
+            if len(shape) != 2:
                 summary.findings.append(
                     f"line {call.lineno}: Dense expects a 2-D input but "
-                    f"receives a {rank}-D tensor"
+                    f"receives a {len(shape)}-D tensor"
                 )
-            elif width is not None and int(in_w) != width:
+            elif isinstance(width, int) and int(in_w) != width:
                 summary.findings.append(
                     f"line {call.lineno}: Dense input width {int(in_w)} does "
                     f"not match the previous layer's output width {width} "
                     f"({name})"
                 )
-            width = int(out_w)
+            shape = (shape[0] if shape else BATCH_DIM, int(out_w))
         elif kind == "LeakyReLU":
             pass  # shape- and parameter-preserving
         else:
@@ -357,12 +391,15 @@ def interpret_network(
                 "abstract interpreter only knows Conv1x2/Dense/LeakyReLU"
             )
             return summary
+        layer.out_shape = shape
         summary.layers.append(layer)
         total += layer.param_count()
     summary.param_total = total
-    summary.output_width = width
+    summary.output_shape = shape
+    width = shape[-1] if shape else None
+    summary.output_width = width if isinstance(width, int) else None
     expected_out = dims.get("outputs")
-    if expected_out is not None and width is not None and width != expected_out:
+    if expected_out is not None and isinstance(width, int) and width != expected_out:
         summary.findings.append(
             f"network output width {width} does not match the configured "
             f"outputs={expected_out} ({name})"
@@ -477,3 +514,114 @@ class ParamCountRule(ProjectRule):
                     f"{cell}: layer-derived parameter count {derived:,} "
                     f"disagrees with Table III's {paper[cell]:,}"
                 ))
+
+
+def _forward_call_sites(info: ModuleInfo) -> list[tuple[int, str | None]]:
+    """Every ``<expr>.forward(...)`` call with its enclosing function.
+
+    Returns ``(lineno, function_name)`` pairs; the name is ``None`` for
+    module-level calls.  Nested functions report the innermost name.
+    """
+    sites: list[tuple[int, str | None]] = []
+
+    def walk(node: ast.AST, current: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            name = current
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "forward"
+            ):
+                sites.append((child.lineno, name))
+            walk(child, name)
+
+    walk(info.tree, None)
+    return sites
+
+
+def _has_score_window(info: ModuleInfo) -> bool:
+    """Whether any class in the module defines a ``score_window`` method."""
+    for cls in info.classes.values():
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and stmt.name == "score_window":
+                return True
+    return False
+
+
+@register_project
+class BatchedShapeRule(ProjectRule):
+    """The batched inference contract, proved from the AST alone."""
+
+    id = "RPR303"
+    slug = "nn-batch"
+    rationale = (
+        "batched scoring is the hot path: the network must map "
+        "[B, rows, 2] -> [B, outputs] with the batch axis untouched by "
+        "every layer, and the agents must funnel all inference through "
+        "the batched score_window entry point so no single-sample "
+        "network path can reappear"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Re-derive batched shapes; audit agent forward call sites."""
+        yield from self._check_network(project)
+        yield from self._check_agents(project)
+
+    def _check_network(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Assert ``[B, rows, 2] -> [B, outputs]`` for every Table III cell."""
+        if project.module(NETWORK_MODULE) is None:
+            return
+        configs = static_table3_configs(project)
+        if configs is None:
+            return  # RPR301 already reports the extraction failure
+        path, lineno = _network_anchor(project)
+        for cell, dims in configs.items():
+            summary = interpret_network(project, cell, dims)
+            if summary is None or summary.findings:
+                continue  # shape breaks are RPR301's findings
+            for layer in summary.layers:
+                if layer.out_shape is not None and (
+                    not layer.out_shape or layer.out_shape[0] != BATCH_DIM
+                ):
+                    yield ProjectFinding(path, layer.lineno, 0, (
+                        f"{cell}: {layer.kind} does not preserve the "
+                        f"symbolic batch dimension "
+                        f"({format_shape(layer.in_shape)} -> "
+                        f"{format_shape(layer.out_shape)})"
+                    ))
+            expected = (BATCH_DIM, dims.get("outputs"))
+            if (
+                summary.output_shape is not None
+                and dims.get("outputs") is not None
+                and summary.output_shape != expected
+            ):
+                yield ProjectFinding(path, lineno, 0, (
+                    f"{cell}: network maps "
+                    f"{format_shape((BATCH_DIM, dims.get('rows'), 2))} to "
+                    f"{format_shape(summary.output_shape)}, expected "
+                    f"{format_shape(expected)}"
+                ))
+
+    def _check_agents(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Every agent ``forward`` call must sit in score_window/update."""
+        for dotted in AGENT_MODULES:
+            info = project.module(dotted)
+            if info is None:
+                continue  # not applicable on scratch trees
+            if not _has_score_window(info):
+                yield ProjectFinding(info.path, 1, 0, (
+                    f"{dotted} defines no batched score_window entry "
+                    "point; batched inference has no single place to "
+                    "route through"
+                ))
+            for lineno, func in _forward_call_sites(info):
+                if func not in FORWARD_CALLERS:
+                    where = f"in {func}()" if func else "at module level"
+                    yield ProjectFinding(info.path, lineno, 0, (
+                        f"network.forward called {where}; route "
+                        "inference through the batched score_window "
+                        "entry point (or the batched update step)"
+                    ))

@@ -90,6 +90,7 @@ class HierarchicalAgent(BaseScheduler):
 
     # -- mode toggles ---------------------------------------------------------------
     def train(self) -> "HierarchicalAgent":
+        """Training mode: record transitions and update parameters."""
         self.learning = True
         return self
 
@@ -105,6 +106,13 @@ class HierarchicalAgent(BaseScheduler):
 
     # -- the two-level loop -----------------------------------------------------------
     def schedule(self, view: SchedulingView) -> None:
+        """One scheduling instance: level-1 selection, then backfill.
+
+        Level 1 starts (or reserves) window picks until a job does not
+        fit; level 2 backfills behind the reservation (§III-A).  Every
+        action's reward is recorded, and the per-instance mean lands in
+        :attr:`instance_rewards`.
+        """
         selected: list[Job] = []
         instance_reward = 0.0
         n_actions = 0
@@ -177,4 +185,5 @@ class HierarchicalAgent(BaseScheduler):
 
     # -- engine hooks ------------------------------------------------------------------
     def on_simulation_end(self, engine) -> None:  # noqa: ANN001
+        """Engine lifecycle hook: finalize the episode."""
         self.episode_end()

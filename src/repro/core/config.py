@@ -103,6 +103,7 @@ class DRASConfig:
     # -- network dimensions (Table III) ------------------------------------
     @property
     def pg_dims(self) -> NetworkDims:
+        """PG network dimensions: ``rows = 2W + N``, ``outputs = W``."""
         return NetworkDims(
             rows=2 * self.window + self.num_nodes,
             hidden1=self.hidden1,
@@ -112,6 +113,7 @@ class DRASConfig:
 
     @property
     def dql_dims(self) -> NetworkDims:
+        """DQL network dimensions: ``rows = 2 + N``, one Q output."""
         return NetworkDims(
             rows=2 + self.num_nodes,
             hidden1=self.hidden1,

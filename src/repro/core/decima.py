@@ -71,14 +71,22 @@ class DecimaPG(BaseScheduler):
         self.instance_rewards: list[float] = []
 
     def train(self) -> "DecimaPG":
+        """Training mode: record transitions and update parameters."""
         self.learning = True
         return self
 
     def eval(self, online_learning: bool = True) -> "DecimaPG":
+        """Evaluation mode; ``online_learning=False`` freezes the policy."""
         self.learning = online_learning
         return self
 
     def schedule(self, view: SchedulingView) -> None:
+        """One flat scheduling instance: start runnable window picks.
+
+        Decima-PG is the flat baseline (§IV-B): only jobs that fit the
+        free nodes are valid actions, and there is no reservation or
+        backfill level.
+        """
         selected = []
         instance_reward = 0.0
         n_actions = 0
@@ -115,17 +123,21 @@ class DecimaPG(BaseScheduler):
             self._instances_since_update = 0
 
     def episode_end(self) -> None:
+        """Flush any pending transitions with a final update."""
         if self.learning and self.core.has_observations():
             self.core.update()
             self.updates_done += 1
         self._instances_since_update = 0
 
     def on_simulation_end(self, engine) -> None:  # noqa: ANN001
+        """Engine lifecycle hook: finalize the episode."""
         self.episode_end()
 
     # -- persistence -----------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Network parameters keyed by position-qualified names."""
         return self.network.state_dict()
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore network parameters from :meth:`state_dict` output."""
         self.network.load_state_dict(state)

@@ -57,16 +57,34 @@ class DRASDQL(HierarchicalAgent):
         self.epsilon = config.epsilon_start
         self._pending: list[_QTransition] = []
         self.losses: list[float] = []
+        #: transitions stacked into the most recent TD update (the
+        #: minibatch one backward + Adam step amortized over)
+        self.last_update_batch = 0
 
     # -- Q evaluation --------------------------------------------------------
+    def score_window(self, x: np.ndarray) -> np.ndarray:
+        """Q-values for a batch of per-job observations.
+
+        ``x`` is a ``[B, 2 + N, 2]`` observation matrix (one row per
+        candidate job, e.g. from
+        :meth:`~repro.core.state.StateEncoder.encode_jobs_batch`); one
+        network forward scores all ``B`` candidates and returns the
+        ``[B]`` Q-vector.  This is the single inference entry point —
+        the whole window is scored per decision, and serving can stack
+        candidates from many concurrent requests into one call.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"score_window expects [B, rows, 2], got {x.shape}")
+        return self.network.forward(x)[:, 0]
+
     def q_values(self, window: list[Job], view: SchedulingView) -> tuple[np.ndarray, np.ndarray]:
         """Q-values of every job in the window: ``(batch_inputs, q)``."""
         batch = self.encoder.encode_jobs_batch(window, view.cluster, view.now)
-        q = self.network.forward(batch)[:, 0]
-        return batch, q
+        return batch, self.score_window(batch)
 
     # -- HierarchicalAgent interface -------------------------------------------
     def select(self, window: list[Job], view: SchedulingView, level: int) -> Job:
+        """ε-greedy pick: best Q-value, or a random job with prob. ε."""
         batch, q = self.q_values(window, view)
         if self.learning:
             # Bootstrap the previous transition with max_a Q(s_{k+1}, a).
@@ -83,6 +101,7 @@ class DRASDQL(HierarchicalAgent):
         return window[action]
 
     def record_reward(self, reward: float) -> None:
+        """Attach the post-action reward to the pending transition."""
         if not self._pending or self._pending[-1].reward is not None:
             raise RuntimeError("no pending transition awaiting a reward")
         self._pending[-1].reward = float(reward)
@@ -95,8 +114,11 @@ class DRASDQL(HierarchicalAgent):
     def update(self) -> None:
         """One TD/Adam step over the completed transitions.
 
-        The most recent transition usually has no successor Q yet; it is
-        held back for the next batch (or terminated at episode end).
+        The completed transitions stack into one ``[K, rows, 2]``
+        minibatch scored by a single batched forward; one backward and
+        one Adam step consume the whole batch.  The most recent
+        transition usually has no successor Q yet; it is held back for
+        the next batch (or terminated at episode end).
         """
         ready = [
             t for t in self._pending
@@ -107,6 +129,7 @@ class DRASDQL(HierarchicalAgent):
             if t.reward is None or t.next_max_q is None
         ]
         self._pending = incomplete
+        self.last_update_batch = len(ready)
         if not ready:
             return
         x = np.stack([t.x for t in ready])
@@ -136,7 +159,9 @@ class DRASDQL(HierarchicalAgent):
 
     # -- persistence --------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Network parameters keyed by position-qualified names."""
         return self.network.state_dict()
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore network parameters from :meth:`state_dict` output."""
         self.network.load_state_dict(state)

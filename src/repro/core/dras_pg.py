@@ -98,6 +98,34 @@ class PGCore:
     #: mean policy entropy (nats/decision) of the most recent update
     #: batch; NaN until :attr:`collect_stats` sees an update
     last_entropy: float = float("nan")
+    #: transitions stacked into the most recent parameter update — the
+    #: minibatch the single backward + Adam step amortized over (0
+    #: until the first update; always-on, the counter is free)
+    last_update_batch: int = 0
+
+    def score_window(self, x: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Masked action probabilities for a batch of windows.
+
+        ``x`` is a ``[B, 2W + N, 2]`` observation matrix (one row per
+        window, e.g. from
+        :meth:`~repro.core.state.StateEncoder.encode_windows`) and
+        ``masks`` the matching ``[B, W]`` validity masks.  One network
+        forward scores all ``B`` windows; returns ``[B, W]``
+        probabilities with masked entries at zero.  This is the single
+        inference entry point — per-decision scoring is the ``B = 1``
+        case, and serving can push arbitrarily many concurrent windows
+        through one call.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"score_window expects [B, rows, 2], got {x.shape}")
+        if masks.ndim != 2 or masks.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"mask batch {masks.shape} does not match obs batch {x.shape}"
+            )
+        if not masks.any(axis=1).all():
+            raise ValueError("no valid action in window")
+        logits = self.network.forward(x)
+        return masked_softmax(logits, masks)
 
     def policy(self, window: list[Job], view: SchedulingView,
                extra_mask: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -105,18 +133,23 @@ class PGCore:
 
         Returns ``(x, mask, probs)``.  ``extra_mask`` ANDs additional
         validity constraints (e.g. Decima-PG's runnable-only rule) into
-        the window mask.
+        the window mask.  One decision is scored as the batch-of-one
+        case of :meth:`score_window` — there is no separate
+        single-sample network path.
         """
-        x, mask = self.encoder.encode_window(window, view.cluster, view.now)
+        xs, masks = self.encoder.encode_windows([window], view.cluster, view.now)
         if extra_mask is not None:
-            mask = mask & extra_mask
-        if not mask.any():
-            raise ValueError("no valid action in window")
-        logits = self.network.forward(x[None])[0]
-        return x, mask, masked_softmax(logits, mask)
+            masks = masks & extra_mask[None, :]
+        probs = self.score_window(xs, masks)
+        return xs[0], masks[0], probs[0]
 
     def act(self, window: list[Job], view: SchedulingView, record: bool,
             extra_mask: np.ndarray | None = None) -> int:
+        """Pick one window slot (sampled, or argmax when greedy).
+
+        With ``record=True`` the transition is kept for the next
+        REINFORCE update.
+        """
         x, mask, probs = self.policy(window, view, extra_mask)
         if self.greedy:
             action = int(np.argmax(probs))
@@ -127,17 +160,26 @@ class PGCore:
         return action
 
     def record_reward(self, reward: float) -> None:
+        """Attach the post-action reward to the pending transition."""
         if not self.pending or self.pending[-1].reward is not None:
             raise RuntimeError("no pending transition awaiting a reward")
         self.pending[-1].reward = float(reward)
 
     def has_observations(self) -> bool:
+        """Whether any pending transition has its reward and can train."""
         return any(t.reward is not None for t in self.pending)
 
     def update(self) -> float:
-        """One REINFORCE/Adam step over the collected trajectory."""
+        """One REINFORCE/Adam step over the collected trajectory.
+
+        The stacked transitions form one ``[K, rows, 2]`` minibatch:
+        a single batched forward/backward produces gradients summed
+        over all ``K`` decisions, and one Adam step applies them —
+        never one optimizer step per sample.
+        """
         batch = [t for t in self.pending if t.reward is not None]
         self.pending.clear()
+        self.last_update_batch = len(batch)
         if not batch:
             return 0.0
         rewards = np.array([t.reward for t in batch])
@@ -200,14 +242,17 @@ class DRASPG(HierarchicalAgent):
 
     # -- HierarchicalAgent interface ----------------------------------------
     def select(self, window: list[Job], view: SchedulingView, level: int) -> Job:
+        """Draw one job from the masked policy over the window."""
         self.core.greedy = self.config.greedy_eval and not self.learning
         action = self.core.act(window, view, record=self.learning)
         return window[action]
 
     def record_reward(self, reward: float) -> None:
+        """Attach the post-action reward to the pending transition."""
         self.core.record_reward(reward)
 
     def update(self) -> None:
+        """One REINFORCE/Adam step over the collected transitions."""
         self.core.update()
 
     def _has_observations(self) -> bool:
@@ -215,7 +260,9 @@ class DRASPG(HierarchicalAgent):
 
     # -- persistence -----------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Network parameters keyed by position-qualified names."""
         return self.network.state_dict()
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore network parameters from :meth:`state_dict` output."""
         self.network.load_state_dict(state)

@@ -126,6 +126,38 @@ class StateEncoder:
         x[2 * self.window :] = self.node_rows(cluster, now)
         return x, mask
 
+    def encode_windows(
+        self, windows: Sequence[Sequence[Job]], cluster: Cluster, now: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack :meth:`encode_window` for many windows: batch-first.
+
+        Returns ``([B, 2W + N, 2] observations, [B, W] validity masks)``
+        for ``B = len(windows)`` — the obs matrix a batched
+        ``score_window`` consumes in one forward pass.  The node rows
+        are identical across the batch (one snapshot of the same
+        cluster at the same instant), so they are computed once and
+        broadcast.  A single decision is the ``B = 1`` case; agents
+        route every window scoring through this batched encoding rather
+        than reshaping per decision.
+        """
+        if not windows:
+            raise ValueError("empty window batch")
+        window = self.window
+        x = np.zeros((len(windows), self.pg_rows, 2), dtype=np.float64)
+        mask = np.zeros((len(windows), window), dtype=bool)
+        capacity = cluster.up_nodes
+        nodes = self.node_rows(cluster, now)
+        for b, jobs in enumerate(windows):
+            if len(jobs) > window:
+                raise ValueError(
+                    f"{len(jobs)} jobs exceed the window size {window}"
+                )
+            for i, job in enumerate(jobs):
+                x[b, 2 * i : 2 * i + 2] = self.job_block(job, now, capacity)
+                mask[b, i] = True
+            x[b, 2 * window :] = nodes
+        return x, mask
+
     def encode_job(self, job: Job, cluster: Cluster, now: float) -> np.ndarray:
         """DQL-style input for one job: ``[2 + N, 2]``."""
         x = np.empty((self.dql_rows, 2), dtype=np.float64)

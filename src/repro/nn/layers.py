@@ -24,9 +24,11 @@ class Parameter:
 
     @property
     def size(self) -> int:
+        """Number of scalar elements in the tensor."""
         return self.value.size
 
     def zero_grad(self) -> None:
+        """Reset the gradient accumulator to zero in place."""
         self.grad.fill(0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -37,12 +39,15 @@ class Layer:
     """Base layer: ``forward`` caches, ``backward`` returns input grads."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output, caching what backward needs."""
         raise NotImplementedError
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return grads w.r.t. the input."""
         raise NotImplementedError
 
     def parameters(self) -> list[Parameter]:
+        """Trainable tensors of this layer (empty for activations)."""
         return []
 
 
@@ -66,12 +71,16 @@ class Conv1x2(Layer):
         self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the 1x2 filter: ``[B, rows, 2] -> [B, rows]``."""
         if x.ndim != 3 or x.shape[-1] != 2:
             raise ValueError(f"Conv1x2 expects [B, rows, 2], got {x.shape}")
         self._x = x
-        return x @ self.weight.value + self.bias.value[0]
+        y = x @ self.weight.value
+        y += self.bias.value[0]
+        return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate filter/bias grads; returns ``[B, rows, 2]`` input grads."""
         if self._x is None:
             raise RuntimeError("backward called before forward")
         x = self._x
@@ -81,6 +90,7 @@ class Conv1x2(Layer):
         return grad_out[..., None] * self.weight.value
 
     def parameters(self) -> list[Parameter]:
+        """The 1x2 filter weight and its bias (3 scalars total)."""
         return [self.weight, self.bias]
 
 
@@ -108,8 +118,15 @@ class Dense(Layer):
         )
         self.bias = Parameter(f"{name}.bias", np.zeros(out_features)) if bias else None
         self._x: np.ndarray | None = None
+        # scratch for the weight-gradient matmul; allocated lazily on
+        # the first backward so forward-only (inference) networks never
+        # pay for it.  Writing the matmul into a reused buffer instead
+        # of a fresh temporary keeps large layers (>1 MB) off the
+        # allocator's mmap path in the training loop.
+        self._gw_scratch: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """One matmul for the whole batch: ``[B, in] -> [B, out]``."""
         if x.ndim != 2 or x.shape[1] != self.weight.value.shape[0]:
             raise ValueError(
                 f"Dense expects [B, {self.weight.value.shape[0]}], got {x.shape}"
@@ -117,18 +134,23 @@ class Dense(Layer):
         self._x = x
         y = x @ self.weight.value
         if self.bias is not None:
-            y = y + self.bias.value
+            y += self.bias.value
         return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate batch-summed grads; returns ``[B, in]`` input grads."""
         if self._x is None:
             raise RuntimeError("backward called before forward")
-        self.weight.grad += self._x.T @ grad_out
+        if self._gw_scratch is None:
+            self._gw_scratch = np.empty_like(self.weight.value)
+        np.matmul(self._x.T, grad_out, out=self._gw_scratch)
+        self.weight.grad += self._gw_scratch
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=0)
         return grad_out @ self.weight.value.T
 
     def parameters(self) -> list[Parameter]:
+        """The weight matrix, plus the bias vector when present."""
         params = [self.weight]
         if self.bias is not None:
             params.append(self.bias)
@@ -136,19 +158,28 @@ class Dense(Layer):
 
 
 class LeakyReLU(Layer):
-    """Leaky rectifier activation (§III-B)."""
+    """Leaky rectifier activation (§III-B).
+
+    Forward and backward are expressed as one elementwise multiply by a
+    cached slope factor (1 where ``x > 0``, ``alpha`` elsewhere) — the
+    same values as the branchy ``where(x > 0, x, alpha*x)`` form
+    (multiplying by 1.0 is exact in IEEE 754), in fewer passes over the
+    batch.
+    """
 
     def __init__(self, alpha: float = 0.01) -> None:
         if alpha < 0:
             raise ValueError("alpha must be >= 0")
         self.alpha = alpha
-        self._mask: np.ndarray | None = None
+        self._factor: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, self.alpha * x)
+        """Elementwise ``max(x, alpha*x)`` over any batched shape."""
+        self._factor = np.where(x > 0, 1.0, self.alpha)
+        return x * self._factor
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        if self._mask is None:
+        """Scale gradients by the cached slope factor."""
+        if self._factor is None:
             raise RuntimeError("backward called before forward")
-        return np.where(self._mask, grad_out, self.alpha * grad_out)
+        return grad_out * self._factor

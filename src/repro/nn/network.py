@@ -89,9 +89,11 @@ class Network:
         return grad_out
 
     def parameters(self) -> list[Parameter]:
+        """All trainable tensors in layer order."""
         return [p for layer in self.layers for p in layer.parameters()]
 
     def zero_grad(self) -> None:
+        """Reset every parameter's gradient accumulator."""
         for p in self.parameters():
             p.zero_grad()
 
@@ -104,6 +106,7 @@ class Network:
         }
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Copy values from :meth:`state_dict` output; keys must match."""
         own = {
             f"{i}.{p.name}": p
             for i, layer in enumerate(self.layers)
@@ -129,8 +132,8 @@ class Network:
 
         clone = _copy.deepcopy(self)
         for layer in clone.layers:
-            # drop forward caches
-            for attr in ("_x", "_mask"):
+            # drop forward caches and backward scratch
+            for attr in ("_x", "_factor", "_gw_scratch"):
                 if hasattr(layer, attr):
                     setattr(layer, attr, None)
         return clone

@@ -22,9 +22,11 @@ class Optimizer:
         self.lr = lr
 
     def step(self) -> None:
+        """Apply one update to every parameter from its current grad."""
         raise NotImplementedError
 
     def zero_grad(self) -> None:
+        """Reset every managed parameter's gradient accumulator."""
         for p in self.params:
             p.zero_grad()
 
@@ -42,6 +44,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.value) for p in params]
 
     def step(self) -> None:
+        """One (momentum-)SGD update: ``p -= lr * v`` in place."""
         for p, v in zip(self.params, self._velocity):
             if self.momentum:
                 v *= self.momentum
@@ -80,6 +83,13 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.value) for p in params]
         self._v = [np.zeros_like(p.value) for p in params]
         self._t = 0
+        # Scratch buffers sized to the largest parameter, allocated
+        # lazily on the first step (so idle optimizers — e.g. ones that
+        # only exist to be checkpointed — stay lean).  Reusing them
+        # keeps the update free of large temporaries: allocating
+        # multi-megabyte arrays every step forces the allocator back to
+        # mmap and dominated the pre-batched train-step profile.
+        self._scratch: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def step(self) -> None:
         """Apply one Adam update to every parameter (in place)."""
@@ -97,7 +107,27 @@ class Adam(Optimizer):
                          params=len(self.params)):
             return self._step()
 
+    def _scratch_for(self, shape: tuple[int, ...]) -> tuple[np.ndarray, ...]:
+        """Reusable scratch views matching ``shape`` (no per-step allocs)."""
+        if self._scratch is None:
+            size = max(p.value.size for p in self.params)
+            self._scratch = (np.empty(size), np.empty(size), np.empty(size))
+        n = 1
+        for dim in shape:
+            n *= dim
+        return tuple(buf[:n].reshape(shape) for buf in self._scratch)
+
     def _step(self) -> None:
+        """The fused in-place Adam update.
+
+        Mathematically (and bit-for-bit) identical to the textbook
+        sequence ``m = β1·m + (1-β1)·g``, ``v = β2·v + (1-β2)·g²``,
+        ``p -= lr·(m/bias1) / (sqrt(v/bias2) + ε)``, but every
+        elementwise pass writes into a preallocated scratch buffer.
+        The scalar multiply/divide order matches the naive expression
+        exactly, so training trajectories are reproducible across the
+        fused and unfused implementations.
+        """
         self._t += 1
         sanitize = _san.sanitizer_enabled()
         track = self.track_grad_norm
@@ -110,20 +140,32 @@ class Adam(Optimizer):
             g = p.grad
             if sanitize:
                 _san.check_finite(f"gradient of {p.name} (Adam step {self._t})", g)
+            t1, t2, t3 = self._scratch_for(g.shape)
             if track or grad_clip is not None:
                 norm = float(np.linalg.norm(g))
                 if track:
                     sq_norm_sum += norm * norm
                 if grad_clip is not None and norm > grad_clip:
-                    g = g * (grad_clip / norm)
+                    np.multiply(g, grad_clip / norm, out=t3)
+                    g = t3
+            # m = b1*m + (1-b1)*g        (two in-place passes)
             m *= b1
-            m += (1 - b1) * g
+            np.multiply(g, 1 - b1, out=t1)
+            m += t1
+            # v = b2*v + (1-b2)*g^2
             v *= b2
-            v += (1 - b2) * np.square(g)
-            m_hat = m / bias1
-            v_hat = v / bias2
+            np.square(g, out=t1)
+            t1 *= 1 - b2
+            v += t1
+            # p -= lr * (m/bias1) / (sqrt(v/bias2) + eps)
+            np.divide(m, bias1, out=t1)
+            t1 *= self.lr
+            np.divide(v, bias2, out=t2)
+            np.sqrt(t2, out=t2)
+            t2 += self.eps
+            t1 /= t2
             shape_before = p.value.shape
-            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.value -= t1
             if sanitize:
                 _san.check_same_shape(p.name, shape_before, p.value.shape)
                 _san.check_finite(f"value of {p.name} (Adam step {self._t})", p.value)

@@ -3,8 +3,8 @@
 Times the hot paths every future optimization PR will fight over —
 the engine event loop (fault-free and under fault injection),
 EASY-backfill candidate filtering, conservative free-capacity profile
-queries and the NN train step — on fixed seeded workloads, and writes
-machine-readable baselines:
+queries, batched NN window scoring and the vectorized NN train step —
+on fixed seeded workloads, and writes machine-readable baselines:
 
 * ``BENCH_sim.json`` — simulator benchmarks (``events_per_s``);
 * ``BENCH_nn.json`` — network benchmarks (``steps_per_s``).
@@ -265,20 +265,32 @@ def bench_conservative_profile(seed: int = 0, quick: bool = False) -> BenchResul
 
 # -- NN benchmarks -------------------------------------------------------------
 
-def _bench_network(seed: int):
+#: minibatch of the per-decision NN benchmarks (the DRAS window shape)
+NN_BATCH = 8
+
+#: minibatch of the ``*-batched`` NN benchmarks (episode-level batching)
+NN_BATCH_LARGE = 64
+
+
+def _bench_network(seed: int, batch: int = NN_BATCH):
     """A mid-size DRAS network + batched input for the NN benchmarks."""
     from repro.nn.network import build_dras_network
 
     rows, hidden1, hidden2, outputs = 280, 512, 128, 20
     rng = np.random.default_rng(seed)
     net = build_dras_network(rows, hidden1, hidden2, outputs, rng=rng)
-    x = rng.normal(size=(8, rows, 2))
+    x = rng.normal(size=(batch, rows, 2))
     return net, x, {"rows": rows, "hidden1": hidden1, "hidden2": hidden2,
-                    "outputs": outputs, "batch": 8}
+                    "outputs": outputs, "batch": batch}
 
 
 def bench_nn_forward(seed: int = 0, quick: bool = False) -> BenchResult:
-    """Forward passes per second through the five-layer DRAS network."""
+    """Forward passes per second through the five-layer DRAS network.
+
+    One "step" is one whole-batch forward (batch 8) — the per-decision
+    window scoring a DRAS agent performs.  Comparable across the
+    batched refactor: the rate counts forward *calls*, not samples.
+    """
     net, x, shape = _bench_network(seed)
     reps = 30 if quick else 300
     t0 = time.perf_counter()
@@ -295,13 +307,46 @@ def bench_nn_forward(seed: int = 0, quick: bool = False) -> BenchResult:
     )
 
 
-def bench_nn_train_step(seed: int = 0, quick: bool = False) -> BenchResult:
-    """Full train steps (forward + backward + Adam) per second."""
+def bench_nn_forward_batched(seed: int = 0, quick: bool = False) -> BenchResult:
+    """Windows scored per second through one large batched forward.
+
+    The serving-path benchmark: ``score_window`` stacks many concurrent
+    windows into a ``[64, rows, 2]`` matrix and scores them with one
+    matmul per layer.  The rate counts *windows* (samples) per second —
+    ``reps * batch / wall`` — so it is directly comparable to
+    ``nn-forward`` times its batch.
+    """
+    net, x, shape = _bench_network(seed, batch=NN_BATCH_LARGE)
+    reps = 15 if quick else 150
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        net.forward(x)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="nn-forward-batched",
+        reps=reps,
+        wall_s=wall,
+        rate_key="steps_per_s",
+        rate=reps * x.shape[0] / wall if wall > 0 else 0.0,
+        extra={**shape, "rate_unit": "windows"},
+    )
+
+
+def _train_step_result(name: str, batch: int, reps: int, seed: int) -> BenchResult:
+    """Time the vectorized train step; the rate is in sample-steps/s.
+
+    One rep is what the training core does per parameter update: one
+    batched forward over ``[batch, rows, 2]``, one backward with
+    gradients summed across the batch, and one Adam step.  A
+    *sample-step* is one transition trained — ``reps * batch`` of them
+    happen per run — matching how the DRAS trainers consume the core
+    (one Adam step amortized over a stacked minibatch, never one step
+    per sample).
+    """
     from repro.nn.optim import Adam
 
-    net, x, shape = _bench_network(seed)
+    net, x, shape = _bench_network(seed, batch=batch)
     optimizer = Adam(net.parameters(), lr=1e-3)
-    reps = 20 if quick else 200
     t0 = time.perf_counter()
     for _ in range(reps):
         out = net.forward(x)
@@ -311,13 +356,40 @@ def bench_nn_train_step(seed: int = 0, quick: bool = False) -> BenchResult:
         optimizer.step()
     wall = time.perf_counter() - t0
     return BenchResult(
-        name="nn-train-step",
+        name=name,
         reps=reps,
         wall_s=wall,
         rate_key="steps_per_s",
-        rate=reps / wall if wall > 0 else 0.0,
-        extra=shape,
+        rate=reps * batch / wall if wall > 0 else 0.0,
+        extra={**shape, "rate_unit": "sample-steps",
+               "updates_per_s": reps / wall if wall > 0 else 0.0},
     )
+
+
+def bench_nn_train_step(seed: int = 0, quick: bool = False) -> BenchResult:
+    """Sample-steps per second through the vectorized training core.
+
+    Forward + backward + Adam on the per-decision minibatch (batch 8).
+    The rate counts *transitions trained per second* (``reps * batch /
+    wall``); ``extra.updates_per_s`` keeps the raw optimizer-step rate
+    for anyone comparing against pre-batched baselines, whose
+    ``steps_per_s`` counted one step per update.
+    """
+    return _train_step_result("nn-train-step", batch=NN_BATCH,
+                              reps=20 if quick else 200, seed=seed)
+
+
+def bench_nn_train_step_batched(seed: int = 0, quick: bool = False) -> BenchResult:
+    """Sample-steps per second at episode-level batching (batch 64).
+
+    The same vectorized train step as ``nn-train-step`` but amortizing
+    each Adam step over a ``[64, rows, 2]`` stacked-transition
+    minibatch — the shape of episode-level PG/DQL updates.  The gap
+    between this rate and ``nn-train-step`` is the pure amortization
+    win of batching updates.
+    """
+    return _train_step_result("nn-train-step-batched", batch=NN_BATCH_LARGE,
+                              reps=10 if quick else 100, seed=seed)
 
 
 # -- suites and file output ----------------------------------------------------
@@ -334,7 +406,9 @@ SIM_BENCHES: tuple[Callable[..., BenchResult], ...] = (
 
 NN_BENCHES: tuple[Callable[..., BenchResult], ...] = (
     bench_nn_forward,
+    bench_nn_forward_batched,
     bench_nn_train_step,
+    bench_nn_train_step_batched,
 )
 
 

@@ -157,9 +157,10 @@ class Trainer:
         """Latest loss / grad-norm / entropy / epsilon from the agent.
 
         Works across all agent families via duck typing: PG agents keep
-        losses and entropy on ``agent.core``, DQL keeps losses and
-        epsilon on the agent itself.  Signals an agent does not produce
-        come back NaN (epsilon is simply omitted)."""
+        losses, entropy and the update minibatch size on ``agent.core``,
+        DQL keeps losses, epsilon and the minibatch size on the agent
+        itself.  Signals an agent does not produce come back NaN
+        (epsilon is simply omitted)."""
         agent = self.agent
         core = getattr(agent, "core", None)
         losses = getattr(agent, "losses", None)
@@ -175,6 +176,12 @@ class Trainer:
                 getattr(core, "last_entropy", float("nan"))
             ) if core is not None else float("nan"),
         }
+        batch = getattr(agent, "last_update_batch", None)
+        if batch is None and core is not None:
+            batch = getattr(core, "last_update_batch", None)
+        if batch is not None:
+            #: transitions amortized by the last single-Adam-step update
+            stats["update_batch"] = float(batch)
         epsilon = getattr(agent, "epsilon", None)
         if epsilon is not None:
             stats["epsilon"] = float(epsilon)

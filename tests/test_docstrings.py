@@ -1,4 +1,7 @@
-"""Docstring audit for ``repro.sim``/``repro.obs``/``repro.check``/``repro.workload``.
+"""Docstring audit for the core ``repro`` packages.
+
+Audited: ``repro.sim``, ``repro.obs``, ``repro.check``,
+``repro.workload``, ``repro.nn``, ``repro.core``.
 
 Every public module, class, function, and method in the audited
 packages must carry a docstring.  This is a lint-adjacent
@@ -20,7 +23,7 @@ import ast
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-AUDITED_PACKAGES = ("sim", "obs", "check", "workload")
+AUDITED_PACKAGES = ("sim", "obs", "check", "workload", "nn", "core")
 
 
 def _is_public(name: str) -> bool:

@@ -63,8 +63,22 @@ class TestQuickBench:
     def test_nn_suite_contents(self):
         doc = run_suite("nn", seed=0, quick=True)
         names = [e["name"] for e in doc["benchmarks"]]
-        assert names == ["nn-forward", "nn-train-step"]
+        assert names == ["nn-forward", "nn-forward-batched",
+                         "nn-train-step", "nn-train-step-batched"]
         assert all(e["steps_per_s"] > 0 for e in doc["benchmarks"])
+
+    def test_nn_train_step_counts_sample_steps(self):
+        """The train-step rate is per *sample*, the update rate per step."""
+        doc = run_suite("nn", seed=0, quick=True)
+        by_name = {e["name"]: e for e in doc["benchmarks"]}
+        for name in ("nn-train-step", "nn-train-step-batched"):
+            entry = by_name[name]
+            assert entry["extra"]["rate_unit"] == "sample-steps"
+            batch = entry["extra"]["batch"]
+            updates = entry["extra"]["updates_per_s"]
+            assert entry["steps_per_s"] == pytest.approx(updates * batch)
+        assert by_name["nn-train-step"]["extra"]["batch"] == 8
+        assert by_name["nn-train-step-batched"]["extra"]["batch"] == 64
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown bench suite"):

@@ -236,6 +236,42 @@ class TestShapesRules:
         })
         assert analyze_project(root / "scratch") == []
 
+    def test_batched_shapes_derived(self):
+        """RPR303's interpreter carries the symbolic batch dim end to end."""
+        project = ProjectModel.load(SRC, package="repro")
+        configs = shapes.static_table3_configs(project)
+        summary = shapes.interpret_network(project, "theta-pg",
+                                           configs["theta-pg"])
+        assert summary.findings == []
+        assert summary.layers[0].in_shape == ("B", 4460, 2)
+        assert summary.layers[0].out_shape == ("B", 4460)
+        assert summary.output_shape == ("B", 50)
+        assert all(layer.out_shape[0] == "B" for layer in summary.layers)
+        assert shapes.format_shape(summary.output_shape) == "[B, 50]"
+
+    def test_unrouted_forward_is_caught(self, mutated_src):
+        """A network.forward outside score_window/update trips RPR303."""
+        dql = mutated_src / "core" / "dras_dql.py"
+        dql.write_text(dql.read_text().replace(
+            "return batch, self.score_window(batch)",
+            "return batch, self.network.forward(batch)[:, 0]",
+        ))
+        violations = analyze_project(mutated_src, package="repro")
+        assert "RPR303" in rule_ids(violations)
+        assert any("score_window" in v.message for v in violations)
+
+    def test_missing_score_window_is_caught(self, mutated_src):
+        """Renaming the batched entry point away trips RPR303 twice."""
+        pg = mutated_src / "core" / "dras_pg.py"
+        pg.write_text(pg.read_text().replace(
+            "def score_window", "def score_batch",
+        ).replace("self.score_window(", "self.score_batch("))
+        violations = analyze_project(mutated_src, package="repro")
+        messages = [v.message for v in violations
+                    if v.rule_id == "RPR303"]
+        assert any("defines no batched score_window" in m for m in messages)
+        assert any("forward called in score_batch()" in m for m in messages)
+
     def test_numpy_free_proof(self, tmp_path):
         """RPR3xx verifies 21,890,053 params with NumPy import-blocked."""
         script = tmp_path / "proof.py"
