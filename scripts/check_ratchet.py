@@ -31,6 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.check import LintConfig, analyze_project, lint_paths  # noqa: E402
+from repro.check.project import project_rules  # noqa: E402
 from repro.check.report import (  # noqa: E402
     baseline_key,
     diff_baseline,
@@ -40,6 +41,23 @@ from repro.check.report import (  # noqa: E402
 
 SOURCE_ROOT = REPO_ROOT / "src" / "repro"
 BASELINE_PATH = REPO_ROOT / "check_baseline.json"
+
+#: rule IDs the ratchet *requires* to be registered.  A refactor that
+#: silently drops a rule family would otherwise pass the gate with the
+#: dropped rules checking nothing; growing the families here is part
+#: of adding one.
+EXPECTED_RULE_IDS = frozenset({
+    # RPR5xx profile-guided performance
+    "RPR501", "RPR502", "RPR503", "RPR504", "RPR505", "RPR506", "RPR507",
+    # RPR6xx determinism taint (effect inference)
+    "RPR601", "RPR602", "RPR603", "RPR604", "RPR605", "RPR606",
+})
+
+
+def missing_rules() -> list[str]:
+    """Expected rule IDs that failed to register (empty when healthy)."""
+    registered = {rule.id for rule in project_rules()}
+    return sorted(EXPECTED_RULE_IDS - registered)
 
 
 def current_findings():
@@ -59,6 +77,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline path (default: repo-root "
                              "check_baseline.json)")
     args = parser.parse_args(argv)
+
+    dropped = missing_rules()
+    if dropped:
+        print("expected rule(s) not registered — the ratchet would gate "
+              f"nothing for them: {', '.join(dropped)}", file=sys.stderr)
+        return 2
 
     try:
         baseline = load_baseline(args.baseline)

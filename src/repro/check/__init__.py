@@ -13,11 +13,13 @@ numerically sane training:
   project-level rule families: units-of-measure checking
   (:mod:`repro.check.units`, RPR2xx), static NN shape/parameter
   verification (:mod:`repro.check.shapes`, RPR3xx), API-contract
-  rules (:mod:`repro.check.contracts`, RPR4xx) and profile-guided
+  rules (:mod:`repro.check.contracts`, RPR4xx), profile-guided
   performance rules (:mod:`repro.check.perf`, RPR5xx — built on the
   intraprocedural CFG/dataflow engine of :mod:`repro.check.flow` and
-  the call-graph hotness model of :mod:`repro.check.hotness`).  Run
-  everything with ``python -m repro check --strict [paths...]``.
+  the call-graph hotness model of :mod:`repro.check.hotness`) and
+  determinism-taint rules (:mod:`repro.check.taint`, RPR6xx — built on
+  the interprocedural effect inference of :mod:`repro.check.effects`).
+  Run everything with ``python -m repro check --strict [paths...]``.
 * :mod:`repro.check.sanitize` — runtime assertion hooks enabled via the
   ``REPRO_SANITIZE=1`` environment variable or ``Engine(sanitize=True)``,
   verifying node conservation, event-time monotonicity, metric
@@ -32,6 +34,13 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.check.effects import (
+    Effect,
+    EffectModel,
+    compute_effects,
+    effects_for_project,
+    effects_report,
+)
 from repro.check.flow import FunctionFlow, build_cfg, loop_depths
 from repro.check.hotness import Hotness, compute_hotness, hotness_for_project
 from repro.check.lint import LintConfig, Violation, lint_paths, lint_source
@@ -45,6 +54,8 @@ from repro.check.project import (
 from repro.check.rules import RULES, Rule, register
 
 __all__ = [
+    "Effect",
+    "EffectModel",
     "FunctionFlow",
     "Hotness",
     "LintConfig",
@@ -56,7 +67,10 @@ __all__ = [
     "Violation",
     "analyze_project",
     "build_cfg",
+    "compute_effects",
     "compute_hotness",
+    "effects_for_project",
+    "effects_report",
     "hotness_for_project",
     "lint_paths",
     "lint_source",

@@ -111,6 +111,26 @@ def load_profile_baseline(path: str | Path) -> dict[str, int]:
     return counts
 
 
+def load_declared_anchor_scopes(path: str | Path) -> tuple[str, ...] | None:
+    """The ``anchor_scopes`` provenance stamp of a baseline, if present.
+
+    ``repro bench --emit-profile`` records the anchor-scope set the
+    checker understood at generation time.  Baselines written before
+    that stamp existed return ``None`` — their staleness cannot be
+    verified, so :meth:`Hotness.stale_anchors` treats them as silent
+    rather than guessing.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    scopes = doc.get("anchor_scopes") if isinstance(doc, dict) else None
+    if not isinstance(scopes, list):
+        return None
+    return tuple(str(s) for s in scopes)
+
+
 def find_profile_baseline(root: str | Path | None) -> Path | None:
     """Locate the profile baseline for a project rooted at ``root``.
 
@@ -279,6 +299,12 @@ class Hotness:
     scores: dict[str, float]
     anchor_calls: dict[str, int]
     baseline_path: str | None = None
+    #: ``anchor_scopes`` stamped into the baseline at generation time
+    #: (None for pre-stamp baselines, whose staleness is unverifiable)
+    declared_scopes: tuple[str, ...] | None = None
+    #: scopes with enough baseline calls whose anchor spec resolved to
+    #: no function in this project — their measurements gate nothing
+    unresolved_scopes: tuple[str, ...] = ()
 
     def score(self, qualname: str) -> float:
         """Propagated hotness score of ``qualname`` (0.0 when unranked)."""
@@ -313,22 +339,64 @@ class Hotness:
         rows.sort(key=lambda row: (-row[1], -row[2], row[0]))
         return rows
 
+    def stale_anchors(self) -> list[str]:
+        """Why this baseline no longer matches the checker's anchors.
+
+        Empty when the baseline is fresh (or predates the provenance
+        stamp, in which case staleness is unverifiable and RPR5xx
+        gating proceeds as before).  Each message names the mismatch
+        and the fix — regenerating via ``repro bench --emit-profile``.
+        """
+        messages: list[str] = []
+        name = self.baseline_path or "profile baseline"
+        if self.declared_scopes is not None:
+            declared = set(self.declared_scopes)
+            current = set(SCOPE_ANCHORS)
+            missing = sorted(current - declared)
+            extra = sorted(declared - current)
+            if missing or extra:
+                drift = []
+                if missing:
+                    drift.append(f"missing scopes {', '.join(missing)}")
+                if extra:
+                    drift.append(f"obsolete scopes {', '.join(extra)}")
+                messages.append(
+                    f"profile baseline {name} was generated for a "
+                    f"different anchor-scope set ({'; '.join(drift)}); "
+                    "RPR5xx gating is degraded — regenerate it with "
+                    "`repro bench --emit-profile`"
+                )
+        for scope in self.unresolved_scopes:
+            messages.append(
+                f"profile baseline {name} scope '{scope}' has anchor "
+                "calls but its anchor resolves to no function in this "
+                "project; the measurement gates nothing — regenerate "
+                "the baseline with `repro bench --emit-profile`"
+            )
+        return messages
+
 
 def compute_hotness(project: ProjectModel, baseline: dict[str, int],
-                    baseline_path: str | None = None) -> Hotness:
+                    baseline_path: str | None = None,
+                    declared_scopes: tuple[str, ...] | None = None) -> Hotness:
     """Anchor profiler scopes onto functions and propagate with decay."""
     index = index_functions(project)
     graph = build_call_graph(project, index)
     scores: dict[str, float] = {}
     anchor_calls: dict[str, int] = {}
+    unresolved: list[str] = []
     for scope, specs in SCOPE_ANCHORS.items():
         calls = baseline.get(scope, 0)
         if calls < MIN_ANCHOR_CALLS:
             continue
+        resolved_any = False
         for spec in specs:
             for qual in _resolve_anchor(project, index, spec):
+                resolved_any = True
                 scores[qual] = 1.0
                 anchor_calls[qual] = max(anchor_calls.get(qual, 0), calls)
+        if not resolved_any:
+            unresolved.append(scope)
     worklist = sorted(scores)
     while worklist:
         qual = worklist.pop()
@@ -340,7 +408,9 @@ def compute_hotness(project: ProjectModel, baseline: dict[str, int],
                 scores[callee] = propagated
                 worklist.append(callee)
     return Hotness(index=index, graph=graph, scores=scores,
-                   anchor_calls=anchor_calls, baseline_path=baseline_path)
+                   anchor_calls=anchor_calls, baseline_path=baseline_path,
+                   declared_scopes=declared_scopes,
+                   unresolved_scopes=tuple(unresolved))
 
 
 _CACHE_ATTR = "_hotness_cache"
@@ -363,8 +433,9 @@ def hotness_for_project(project: ProjectModel) -> Hotness | None:
         except (OSError, ValueError):
             baseline = None
         if baseline:
-            result = compute_hotness(project, baseline,
-                                     baseline_path=path.as_posix())
+            result = compute_hotness(
+                project, baseline, baseline_path=path.as_posix(),
+                declared_scopes=load_declared_anchor_scopes(path))
     setattr(project, _CACHE_ATTR, result)
     return result
 

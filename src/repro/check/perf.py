@@ -21,6 +21,9 @@ Catalog
   the :mod:`repro.check.flow` CFG); reported project-wide.
 * RPR506 ``float-accum-order`` — float accumulation over unordered set
   iteration, which breaks bit-identical vectorization.
+* RPR507 ``stale-profile-baseline`` — the committed profile baseline
+  no longer matches the checker's anchor-scope set, so the gating of
+  every other rule here is silently degraded.
 """
 
 from __future__ import annotations
@@ -369,3 +372,27 @@ class FloatAccumOrderRule(ProjectRule):
                         "sum() over unordered set iteration in hot "
                         f"function {label}",
                     )
+
+
+@register_project
+class StaleProfileBaselineRule(ProjectRule):
+    """Profile baselines drifted out of sync with the anchor scopes."""
+
+    id = "RPR507"
+    slug = "stale-profile-baseline"
+    rationale = (
+        "A profile baseline generated for a different anchor-scope set "
+        "silently mis-gates every RPR5xx rule (hot functions go "
+        "unchecked, cold ones get noise); regenerate it with "
+        "`repro bench --emit-profile`."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield staleness findings (silent without a baseline, and for
+        pre-provenance baselines whose scope set cannot be verified)."""
+        hotness = hotness_for_project(project)
+        if hotness is None:
+            return
+        path = hotness.baseline_path or "profile_baseline.json"
+        for message in hotness.stale_anchors():
+            yield ProjectFinding(path, 1, 0, message)

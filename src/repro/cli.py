@@ -481,6 +481,26 @@ def cmd_check(args: argparse.Namespace) -> int:
         from repro.check import hotness as _hotness
         os.environ[_hotness.BASELINE_ENV] = args.profile_baseline
 
+    if args.effects_report:
+        from repro.check import effects as _effects
+        from repro.check.project import ProjectModel
+        root = Path(args.paths[0])
+        if root.is_file():
+            root = root.parent
+        if not root.is_dir():
+            print(f"project root is not a directory: {root}", file=sys.stderr)
+            return 2
+        model = _effects.effects_for_project(ProjectModel.load(root))
+        doc = _effects.effects_report(model)
+        Path(args.effects_report).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        if not args.quiet:
+            impure = len(doc["functions"])
+            print(f"wrote effect signatures for {doc['functions_total']} "
+                  f"functions ({impure} with effects) to "
+                  f"{args.effects_report}", file=sys.stderr)
+        return 0
+
     if args.hotness:
         from repro.check import hotness as _hotness
         from repro.check.project import ProjectModel
@@ -727,10 +747,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="also run the whole-program rules (RPR2xx units, "
                         "RPR3xx NN shapes/params, RPR4xx API contracts, "
-                        "RPR5xx profile-guided performance)")
+                        "RPR5xx profile-guided performance, RPR6xx "
+                        "determinism taint)")
     p.add_argument("--hotness", action="store_true",
                    help="print the profile-guided hotness ranking of the "
                         "first path's project and exit")
+    p.add_argument("--effects-report", metavar="PATH",
+                   help="write the inferred per-function effect signatures "
+                        "(RNG/clock/env/IO/global-mutation) of the first "
+                        "path's project as JSON to PATH and exit")
     p.add_argument("--profile-baseline", metavar="PATH",
                    help="profiler baseline JSON anchoring the RPR5xx "
                         "hotness model (default: profile_baseline.json "

@@ -64,12 +64,22 @@ class BenchResult:
 
 # -- simulator benchmarks ------------------------------------------------------
 
-def _theta_jobs(num_nodes: int, n_jobs: int, seed: int) -> list:
-    """Seeded Theta-like jobset reused (via copies) across reps."""
+def _suite_rng(seed: int, rng: np.random.Generator | None) -> np.random.Generator:
+    """The injected generator, or one derived from the explicit seed.
+
+    Every workload draw in this module flows through a generator that
+    enters here — either threaded down from :func:`run_suite` (one
+    generator for the whole suite) or derived once at a public bench
+    entry point.  No helper re-derives its own stream (RPR601 idiom).
+    """
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def _theta_jobs(num_nodes: int, n_jobs: int, rng: np.random.Generator) -> list:
+    """Theta-like jobset drawn from ``rng``, reused (via copies) across reps."""
     from repro.workload.models import ThetaModel
 
     model = ThetaModel.scaled(num_nodes)
-    rng = np.random.default_rng(seed)
     return model.generate(n_jobs, rng)
 
 
@@ -77,6 +87,7 @@ def bench_engine_throughput(
     seed: int = 0,
     quick: bool = False,
     trace_to_null: bool = False,
+    rng: np.random.Generator | None = None,
 ) -> BenchResult:
     """Engine event-loop throughput under FCFS/EASY on a Theta-like trace.
 
@@ -92,7 +103,7 @@ def bench_engine_throughput(
     num_nodes = 64
     n_jobs = 300 if quick else 2000
     reps = 1 if quick else 3
-    jobs = _theta_jobs(num_nodes, n_jobs, seed)
+    jobs = _theta_jobs(num_nodes, n_jobs, _suite_rng(seed, rng))
 
     tracer = None
     if trace_to_null:
@@ -124,7 +135,11 @@ def bench_engine_throughput(
     )
 
 
-def bench_engine_faulted(seed: int = 0, quick: bool = False) -> BenchResult:
+def bench_engine_faulted(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
     """Engine throughput with fault injection enabled.
 
     Same workload shape as :func:`bench_engine_throughput` but with a
@@ -145,7 +160,7 @@ def bench_engine_faulted(seed: int = 0, quick: bool = False) -> BenchResult:
     num_nodes = 64
     n_jobs = 300 if quick else 1000
     reps = 1 if quick else 3
-    jobs = _theta_jobs(num_nodes, n_jobs, seed)
+    jobs = _theta_jobs(num_nodes, n_jobs, _suite_rng(seed, rng))
     faults = FaultConfig(mtbf=10_000.0, mttr=1500.0, blade_size=4,
                          blade_prob=0.2, job_kill_mtbf=50_000.0,
                          seed=seed, requeue="requeue-front")
@@ -170,12 +185,11 @@ def bench_engine_faulted(seed: int = 0, quick: bool = False) -> BenchResult:
     )
 
 
-def _loaded_cluster(num_nodes: int, seed: int):
+def _loaded_cluster(num_nodes: int, rng: np.random.Generator):
     """A cluster with staggered running jobs and a blocked head job."""
     from repro.sim.cluster import Cluster
     from repro.sim.job import Job
 
-    rng = np.random.default_rng(seed)
     cluster = Cluster(num_nodes)
     running = []
     used = 0
@@ -192,7 +206,11 @@ def _loaded_cluster(num_nodes: int, seed: int):
     return cluster, running, blocked
 
 
-def bench_backfill(seed: int = 0, quick: bool = False) -> BenchResult:
+def bench_backfill(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
     """EASY reservation + candidate filtering over a 50-job pool.
 
     One "event" is one ``reserve`` + ``candidates`` round against a
@@ -202,8 +220,8 @@ def bench_backfill(seed: int = 0, quick: bool = False) -> BenchResult:
     from repro.sim.backfill import BackfillPlanner
     from repro.sim.job import Job
 
-    rng = np.random.default_rng(seed)
-    cluster, _, blocked = _loaded_cluster(64, seed)
+    rng = _suite_rng(seed, rng)
+    cluster, _, blocked = _loaded_cluster(64, rng)
     planner = BackfillPlanner(cluster)
     pool = [
         Job(size=int(rng.integers(1, 9)), walltime=float(rng.integers(300, 14400)),
@@ -228,7 +246,11 @@ def bench_backfill(seed: int = 0, quick: bool = False) -> BenchResult:
     )
 
 
-def bench_conservative_profile(seed: int = 0, quick: bool = False) -> BenchResult:
+def bench_conservative_profile(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
     """Conservative-backfilling profile build + query + reserve cycle.
 
     One "event" is one ``earliest_start`` + ``reserve`` pair on a
@@ -237,8 +259,8 @@ def bench_conservative_profile(seed: int = 0, quick: bool = False) -> BenchResul
     """
     from repro.sim.profile import ResourceProfile
 
-    rng = np.random.default_rng(seed)
-    cluster, _, _ = _loaded_cluster(64, seed)
+    rng = _suite_rng(seed, rng)
+    cluster, _, _ = _loaded_cluster(64, rng)
     requests = [
         (int(rng.integers(1, 17)), float(rng.integers(300, 7200)))
         for _ in range(16)
@@ -272,26 +294,29 @@ NN_BATCH = 8
 NN_BATCH_LARGE = 64
 
 
-def _bench_network(seed: int, batch: int = NN_BATCH):
+def _bench_network(rng: np.random.Generator, batch: int = NN_BATCH):
     """A mid-size DRAS network + batched input for the NN benchmarks."""
     from repro.nn.network import build_dras_network
 
     rows, hidden1, hidden2, outputs = 280, 512, 128, 20
-    rng = np.random.default_rng(seed)
     net = build_dras_network(rows, hidden1, hidden2, outputs, rng=rng)
     x = rng.normal(size=(batch, rows, 2))
     return net, x, {"rows": rows, "hidden1": hidden1, "hidden2": hidden2,
                     "outputs": outputs, "batch": batch}
 
 
-def bench_nn_forward(seed: int = 0, quick: bool = False) -> BenchResult:
+def bench_nn_forward(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
     """Forward passes per second through the five-layer DRAS network.
 
     One "step" is one whole-batch forward (batch 8) — the per-decision
     window scoring a DRAS agent performs.  Comparable across the
     batched refactor: the rate counts forward *calls*, not samples.
     """
-    net, x, shape = _bench_network(seed)
+    net, x, shape = _bench_network(_suite_rng(seed, rng))
     reps = 30 if quick else 300
     t0 = time.perf_counter()
     for _ in range(reps):
@@ -307,7 +332,11 @@ def bench_nn_forward(seed: int = 0, quick: bool = False) -> BenchResult:
     )
 
 
-def bench_nn_forward_batched(seed: int = 0, quick: bool = False) -> BenchResult:
+def bench_nn_forward_batched(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
     """Windows scored per second through one large batched forward.
 
     The serving-path benchmark: ``score_window`` stacks many concurrent
@@ -316,7 +345,7 @@ def bench_nn_forward_batched(seed: int = 0, quick: bool = False) -> BenchResult:
     ``reps * batch / wall`` — so it is directly comparable to
     ``nn-forward`` times its batch.
     """
-    net, x, shape = _bench_network(seed, batch=NN_BATCH_LARGE)
+    net, x, shape = _bench_network(_suite_rng(seed, rng), batch=NN_BATCH_LARGE)
     reps = 15 if quick else 150
     t0 = time.perf_counter()
     for _ in range(reps):
@@ -332,7 +361,8 @@ def bench_nn_forward_batched(seed: int = 0, quick: bool = False) -> BenchResult:
     )
 
 
-def _train_step_result(name: str, batch: int, reps: int, seed: int) -> BenchResult:
+def _train_step_result(name: str, batch: int, reps: int,
+                       rng: np.random.Generator) -> BenchResult:
     """Time the vectorized train step; the rate is in sample-steps/s.
 
     One rep is what the training core does per parameter update: one
@@ -345,7 +375,7 @@ def _train_step_result(name: str, batch: int, reps: int, seed: int) -> BenchResu
     """
     from repro.nn.optim import Adam
 
-    net, x, shape = _bench_network(seed, batch=batch)
+    net, x, shape = _bench_network(rng, batch=batch)
     optimizer = Adam(net.parameters(), lr=1e-3)
     t0 = time.perf_counter()
     for _ in range(reps):
@@ -366,7 +396,11 @@ def _train_step_result(name: str, batch: int, reps: int, seed: int) -> BenchResu
     )
 
 
-def bench_nn_train_step(seed: int = 0, quick: bool = False) -> BenchResult:
+def bench_nn_train_step(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
     """Sample-steps per second through the vectorized training core.
 
     Forward + backward + Adam on the per-decision minibatch (batch 8).
@@ -376,10 +410,15 @@ def bench_nn_train_step(seed: int = 0, quick: bool = False) -> BenchResult:
     ``steps_per_s`` counted one step per update.
     """
     return _train_step_result("nn-train-step", batch=NN_BATCH,
-                              reps=20 if quick else 200, seed=seed)
+                              reps=20 if quick else 200,
+                              rng=_suite_rng(seed, rng))
 
 
-def bench_nn_train_step_batched(seed: int = 0, quick: bool = False) -> BenchResult:
+def bench_nn_train_step_batched(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
     """Sample-steps per second at episode-level batching (batch 64).
 
     The same vectorized train step as ``nn-train-step`` but amortizing
@@ -389,15 +428,16 @@ def bench_nn_train_step_batched(seed: int = 0, quick: bool = False) -> BenchResu
     win of batching updates.
     """
     return _train_step_result("nn-train-step-batched", batch=NN_BATCH_LARGE,
-                              reps=10 if quick else 100, seed=seed)
+                              reps=10 if quick else 100,
+                              rng=_suite_rng(seed, rng))
 
 
 # -- suites and file output ----------------------------------------------------
 
 SIM_BENCHES: tuple[Callable[..., BenchResult], ...] = (
     bench_engine_throughput,
-    lambda seed=0, quick=False: bench_engine_throughput(
-        seed=seed, quick=quick, trace_to_null=True
+    lambda seed=0, quick=False, rng=None: bench_engine_throughput(
+        seed=seed, quick=quick, trace_to_null=True, rng=rng
     ),
     bench_engine_faulted,
     bench_backfill,
@@ -424,8 +464,12 @@ def run_suite(
         raise ValueError(f"unknown bench suite {kind!r}; use 'sim' or 'nn'")
     sha = git_sha()
     entries = []
+    # one seeded generator threaded through the whole suite: workload
+    # draws continue a single stream instead of five per-function
+    # default_rng(seed) re-derivations (the RPR601 injection idiom)
+    rng = np.random.default_rng(seed)
     for bench in benches:
-        result = bench(seed=seed, quick=quick)
+        result = bench(seed=seed, quick=quick, rng=rng)
         entries.append(result.as_dict(seed, sha))
         if progress is not None:
             progress(
@@ -495,11 +539,15 @@ def profile_workload(seed: int = 0, quick: bool = False):
     prof = Profiler()
     num_nodes = 64
     n_jobs = 300 if quick else 2000
-    jobs = _theta_jobs(num_nodes, n_jobs, seed)
+    # single seeded generator for the whole workload; _theta_jobs
+    # consumes first, so the engine jobset (and with it every anchor
+    # call count) is bit-identical to pre-threading baselines
+    rng = np.random.default_rng(seed)
+    jobs = _theta_jobs(num_nodes, n_jobs, rng)
     run_simulation(num_nodes, FCFSEasy(),
                    [j.copy_fresh() for j in jobs], profile=prof)
 
-    net, x, _ = _bench_network(seed)
+    net, x, _ = _bench_network(rng)
     optimizer = Adam(net.parameters(), lr=1e-3)
     steps = 4 if quick else 30
     previous = set_global_profiler(prof)
@@ -528,7 +576,7 @@ def write_profile_baseline(
     regenerated on any machine ranks functions identically.  Keep it in
     sync with ``BENCH_sim.json`` via ``scripts/refresh_perf_baselines.py``.
     """
-    from repro.check.hotness import PROFILE_BASELINE_SCHEMA
+    from repro.check.hotness import PROFILE_BASELINE_SCHEMA, SCOPE_ANCHORS
 
     prof = profile_workload(seed=seed, quick=quick)
     scopes = [
@@ -540,6 +588,10 @@ def write_profile_baseline(
         "schema": PROFILE_BASELINE_SCHEMA,
         "seed": seed,
         "quick": quick,
+        # provenance stamp: the anchor-scope set this baseline was
+        # generated for; RPR507 flags the baseline as stale when the
+        # checker's SCOPE_ANCHORS move away from it
+        "anchor_scopes": sorted(SCOPE_ANCHORS),
         "git_sha": git_sha(),
         "workload": {"num_nodes": 64, "n_jobs": 300 if quick else 2000,
                      "policy": "fcfs", "nn_steps": 4 if quick else 30},

@@ -300,7 +300,9 @@ def global_profiler() -> "Profiler | None":
     global _GLOBAL, _GLOBAL_LOADED
     if not _GLOBAL_LOADED:
         _GLOBAL_LOADED = True
-        path = os.environ.get("REPRO_PROFILE", "").strip()
+        # sanctioned observability gate: enables timing collection only;
+        # simulation results are identical with and without REPRO_PROFILE
+        path = os.environ.get("REPRO_PROFILE", "").strip()  # repro: noqa[ambient-env-read]
         if path:
             _GLOBAL = Profiler()
             atexit.register(_write_global_profile, _GLOBAL, path)

@@ -250,7 +250,9 @@ def global_tracer() -> "Tracer | None":
     global _GLOBAL, _GLOBAL_LOADED
     if not _GLOBAL_LOADED:
         _GLOBAL_LOADED = True
-        path = os.environ.get("REPRO_TRACE", "").strip()
+        # sanctioned observability gate: selects whether a trace is
+        # *written*; the traced run's behaviour is unchanged by REPRO_TRACE
+        path = os.environ.get("REPRO_TRACE", "").strip()  # repro: noqa[ambient-env-read]
         if path:
             _GLOBAL = Tracer(path)
             _register_atexit_flush()

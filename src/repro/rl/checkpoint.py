@@ -20,6 +20,17 @@ previous checkpoint intact.  An interrupted run resumed from its latest
 checkpoint reaches the same final validation score as an uninterrupted
 run with the same seed — the property ``tests/test_checkpoint_resume``
 proves with a real SIGKILLed subprocess.
+
+Pickle-safety contract: every object type named here (the agents via
+the :data:`repro.core.persistence._KINDS` registry,
+:class:`~repro.sim.faults.FaultConfig`, :class:`LoadedCheckpoint`,
+episode records) crosses serialization — and, for the multiprocessing
+sweep runner, fork — boundaries, so none may capture open file
+handles, locks, lambdas or generator iterators in instance
+attributes.  RPR604 (``unpicklable-capture``,
+:mod:`repro.check.taint`) enforces this statically over the whole
+closure of classes reachable from this module;
+``tests/test_pickle_safety.py`` round-trips the real objects.
 """
 
 from __future__ import annotations

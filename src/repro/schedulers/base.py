@@ -46,7 +46,14 @@ class BaseScheduler:
             registry.reset_values()
 
     def schedule(self, view: SchedulingView) -> None:
-        """Take scheduling actions for one instance via ``view``."""
+        """Take scheduling actions for one instance via ``view``.
+
+        Determinism contract (statically enforced by the RPR6xx taint
+        rules): any randomness here must come from a generator derived
+        from an explicit seed (RPR601), and no code reachable from
+        ``schedule`` may consume the fault injector's private RNG
+        (RPR602) — the failure stream stays policy-independent.
+        """
         raise NotImplementedError
 
     # Optional lifecycle hooks --------------------------------------------

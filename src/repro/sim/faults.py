@@ -239,6 +239,15 @@ class FaultInjector:
       engine from currently-up nodes, but the random draws happen here);
     * :meth:`next_kill_gap` / :meth:`choose_victim` — the job-kill
       process and its target among currently running jobs.
+
+    Isolation contract: ``_rng`` is consumed by the engine's fault
+    bookkeeping only, never by scheduler decision code, so the (time,
+    nodes) failure stream is policy-independent by construction —
+    swapping schedulers cannot perturb when or where faults strike.
+    This is *statically enforced*: RPR602 (``fault-rng-isolation``,
+    :mod:`repro.check.taint`) fails ``repro check --strict`` if any
+    ``schedule`` method can reach a ``_rng`` consumption through the
+    call graph.
     """
 
     def __init__(self, config: FaultConfig) -> None:

@@ -23,12 +23,14 @@ from repro.check.hotness import (
     HOT_THRESHOLD,
     MIN_ANCHOR_CALLS,
     PROFILE_BASELINE_SCHEMA,
+    SCOPE_ANCHORS,
     build_call_graph,
     compute_hotness,
     find_profile_baseline,
     format_ranking,
     hotness_for_project,
     index_functions,
+    load_declared_anchor_scopes,
     load_profile_baseline,
 )
 from repro.check.project import ProjectModel
@@ -361,3 +363,71 @@ class TestGoldenRanking:
                                     "function"]
         assert len(lines) == 6
         assert "1.000" in lines[1]
+
+
+class TestStaleness:
+    """The anchor-scope provenance stamp and staleness detection."""
+
+    def test_load_declared_scopes_roundtrip(self, tmp_path):
+        path = tmp_path / "b.json"
+        doc = baseline_doc(**{"engine.run": 4000})
+        doc["anchor_scopes"] = ["engine.run", "nn.forward"]
+        path.write_text(json.dumps(doc))
+        assert load_declared_anchor_scopes(path) == (
+            "engine.run", "nn.forward")
+
+    def test_load_declared_scopes_absent_or_corrupt_is_none(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(baseline_doc(**{"engine.run": 4000})))
+        assert load_declared_anchor_scopes(path) is None
+        path.write_text("{broken")
+        assert load_declared_anchor_scopes(path) is None
+        assert load_declared_anchor_scopes(tmp_path / "missing.json") is None
+
+    def test_pre_stamp_baseline_is_silent(self, tmp_path):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        project = ProjectModel.load(root / "repro", package="repro")
+        hot = compute_hotness(project, {"engine.run": 4000},
+                              declared_scopes=None)
+        assert hot.stale_anchors() == []
+
+    def test_matching_scope_set_is_fresh(self, tmp_path):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        project = ProjectModel.load(root / "repro", package="repro")
+        hot = compute_hotness(project, {"engine.run": 4000},
+                              declared_scopes=tuple(sorted(SCOPE_ANCHORS)))
+        assert hot.stale_anchors() == []
+
+    def test_scope_set_drift_names_both_directions(self, tmp_path):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        project = ProjectModel.load(root / "repro", package="repro")
+        hot = compute_hotness(
+            project, {"engine.run": 4000}, baseline_path="b.json",
+            declared_scopes=("engine.run", "engine.olden"))
+        [message] = hot.stale_anchors()
+        assert "different anchor-scope set" in message
+        assert "obsolete scopes engine.olden" in message
+        assert "missing scopes" in message
+        assert "engine.instance" in message
+        assert "repro bench --emit-profile" in message
+
+    def test_unresolved_anchor_scope_is_reported(self, tmp_path):
+        # ANCHOR_TREE has no Network.forward, so a measured nn.forward
+        # scope gates nothing — exactly the drift RPR507 surfaces
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        project = ProjectModel.load(root / "repro", package="repro")
+        hot = compute_hotness(
+            project, {"engine.run": 4000, "nn.forward": 4000},
+            declared_scopes=tuple(sorted(SCOPE_ANCHORS)))
+        assert hot.unresolved_scopes == ("nn.forward",)
+        [message] = hot.stale_anchors()
+        assert "'nn.forward'" in message
+        assert "resolves to no function" in message
+
+    def test_low_call_scopes_never_count_as_unresolved(self, tmp_path):
+        root = write_tree(tmp_path, dict(ANCHOR_TREE))
+        project = ProjectModel.load(root / "repro", package="repro")
+        hot = compute_hotness(
+            project,
+            {"engine.run": 4000, "nn.forward": MIN_ANCHOR_CALLS - 1})
+        assert hot.unresolved_scopes == ()

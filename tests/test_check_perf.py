@@ -195,3 +195,59 @@ class TestRealTree:
         monkeypatch.delenv(BASELINE_ENV, raising=False)
         findings = rpr5(analyze_project(SRC, package="repro"))
         assert findings == []
+
+
+class TestStaleBaselineRule:
+    """RPR507: the baseline provenance stamp vs. the checker's anchors."""
+
+    def _doc(self, anchor_scopes=None, extra_scopes=()):
+        doc = {k: v for k, v in BASELINE.items()}
+        doc["scopes"] = list(BASELINE["scopes"]) + [
+            {"name": name, "calls": 4000, "total_s": 1.0}
+            for name in extra_scopes]
+        if anchor_scopes is not None:
+            doc["anchor_scopes"] = list(anchor_scopes)
+        return doc
+
+    def _findings(self, tmp_path, monkeypatch, doc):
+        monkeypatch.delenv(BASELINE_ENV, raising=False)
+        root = write_tree(tmp_path, dict(HOT_TREE))
+        (tmp_path / "profile_baseline.json").write_text(json.dumps(doc))
+        return [v for v in rpr5(analyze_project(root / "repro"))
+                if v.rule_id == "RPR507"]
+
+    def test_drifted_scope_set_fires_at_the_baseline(self, tmp_path,
+                                                     monkeypatch):
+        findings = self._findings(
+            tmp_path, monkeypatch,
+            self._doc(anchor_scopes=["engine.run", "engine.olden"]))
+        assert len(findings) == 1
+        assert findings[0].path.endswith("profile_baseline.json")
+        assert findings[0].line == 1
+        assert "obsolete scopes engine.olden" in findings[0].message
+        assert "repro bench --emit-profile" in findings[0].message
+
+    def test_measured_scope_resolving_to_nothing_fires(self, tmp_path,
+                                                       monkeypatch):
+        from repro.check.hotness import SCOPE_ANCHORS
+
+        findings = self._findings(
+            tmp_path, monkeypatch,
+            self._doc(anchor_scopes=sorted(SCOPE_ANCHORS),
+                      extra_scopes=["nn.forward"]))
+        assert len(findings) == 1
+        assert "'nn.forward'" in findings[0].message
+        assert "resolves to no function" in findings[0].message
+
+    def test_pre_stamp_baseline_stays_silent(self, tmp_path, monkeypatch):
+        # baselines written before the provenance stamp existed cannot
+        # be verified; RPR507 must not guess
+        assert self._findings(tmp_path, monkeypatch, self._doc()) == []
+
+    def test_fresh_stamp_stays_silent(self, tmp_path, monkeypatch):
+        from repro.check.hotness import SCOPE_ANCHORS
+
+        findings = self._findings(
+            tmp_path, monkeypatch,
+            self._doc(anchor_scopes=sorted(SCOPE_ANCHORS)))
+        assert findings == []

@@ -303,3 +303,45 @@ class TestReportAndTrace:
         episodes = episode_records(read_telemetry(sidecar))
         assert episodes and all("grad_norm" in r for r in episodes)
         assert "Training telemetry" in report.read_text()
+
+
+class TestEffectsReportCLI:
+    """``repro check --effects-report``: the effect-signature artifact."""
+
+    def _pkg(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""Pkg."""\n')
+        (pkg / "mod.py").write_text(
+            '"""Mod."""\n\nimport time\n\n\ndef stamped():\n'
+            '    """Read the clock."""\n    return time.time()\n'
+        )
+        return pkg
+
+    def test_writes_signature_document(self, tmp_path, capsys):
+        import json as _json
+
+        out = tmp_path / "effects.json"
+        rc = main(["check", "--effects-report", str(out), str(self._pkg(tmp_path))])
+        assert rc == 0
+        assert "wrote effect signatures" in capsys.readouterr().err
+        doc = _json.loads(out.read_text())
+        assert doc["schema"] == "repro.effects/v1"
+        assert doc["functions_total"] == 1
+        [(qual, effects)] = doc["functions"].items()
+        assert qual.endswith(".stamped")
+        assert effects[0]["detail"] == "time.time"
+
+    def test_quiet_suppresses_summary(self, tmp_path, capsys):
+        out = tmp_path / "effects.json"
+        rc = main(["check", "-q", "--effects-report", str(out),
+                   str(self._pkg(tmp_path))])
+        assert rc == 0
+        assert capsys.readouterr().err == ""
+        assert out.exists()
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        rc = main(["check", "--effects-report", str(tmp_path / "o.json"),
+                   str(tmp_path / "nowhere")])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err
