@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the live telemetry surface (CI job ``live``).
+
+Drives the real CLI the way an operator would and asserts the whole
+in-flight observability chain works against a running process:
+
+1. generates a seeded workload and starts ``repro simulate --live PORT
+   --live-record shard.jsonl`` as a subprocess;
+2. polls ``/metrics`` and ``/status`` on the live HTTP server *while
+   the simulation is still running*, validating the Prometheus page
+   with :func:`repro.obs.promtext.lint_prometheus` and the status
+   document's schema/snapshot shape;
+3. waits for the run to finish and merges the recorded shard with
+   ``repro live summarize``;
+4. re-runs the identical simulation dark (no live view) with
+   ``--manifest`` on both runs and asserts the manifest
+   ``stable_digest`` matches — watching a run must not change it.
+
+Exit code 0 on success; any failure raises (non-zero exit).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.manifest import RunManifest  # noqa: E402
+from repro.obs.promtext import lint_prometheus  # noqa: E402
+
+PORT = 9099
+N_JOBS = 20_000   # big enough that the run is still live while we scrape
+
+
+def _cli(*args: str, **kwargs):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          check=True, **kwargs)
+
+
+def _get(path: str, timeout: float = 2.0) -> tuple[str, str]:
+    url = f"http://127.0.0.1:{PORT}{path}"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode("utf-8"), resp.headers.get("Content-Type", "")
+
+
+def _scrape_during_run(proc: subprocess.Popen) -> tuple[str, dict]:
+    """Poll until both endpoints answer while the run is still alive."""
+    deadline = time.time() + 60.0
+    last_error: Exception | None = None
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"simulate exited (rc={proc.returncode}) before the live "
+                f"endpoints could be scraped; last error: {last_error}"
+            )
+        try:
+            status_body, ctype = _get("/status")
+            assert ctype.startswith("application/json"), ctype
+            status = json.loads(status_body)
+            if "engine" not in status.get("metrics", {}) \
+                    or "sim" not in status.get("snapshots", {}):
+                # server is up but the engine has not published yet
+                time.sleep(0.05)
+                continue
+            metrics, ctype = _get("/metrics")
+            assert ctype.startswith("text/plain; version=0.0.4"), ctype
+            return metrics, status
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            last_error = exc
+            time.sleep(0.05)
+    raise SystemExit(f"live endpoints never came up: {last_error}")
+
+
+def main(tmp: Path) -> None:
+    trace = tmp / "trace.swf"
+    shard = tmp / "live-shard.jsonl"
+    _cli("generate", "theta", str(N_JOBS), "--nodes", "64",
+         "--out", str(trace))
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "simulate", str(trace),
+         "--nodes", "64", "--policy", "fcfs",
+         "--live", str(PORT), "--live-record", str(shard)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        metrics, status = _scrape_during_run(proc)
+        problems = lint_prometheus(metrics)
+        assert problems == [], f"/metrics failed the linter: {problems}"
+        assert "repro_engine_engine_events_submit" in metrics, metrics[:400]
+        assert status["schema"] == "repro.live/v1", status
+        sim = status["snapshots"]["sim"]
+        assert sim["kind"] == "sim" and sim["seq"] >= 1, sim
+        assert "engine" in status["metrics"], sorted(status["metrics"])
+        print(f"scraped live run: seq={sim['seq']} events={sim.get('events')} "
+              f"done={sim.get('done')}/{sim.get('total')}")
+        rc = proc.wait(timeout=600)
+        assert rc == 0, f"simulate exited {rc}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    summary = subprocess.run(
+        [sys.executable, "-m", "repro", "live", "summarize", str(shard)],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    assert "live rollup" in summary and "[sim]" in summary, summary
+    print(summary.rstrip())
+
+    # digest parity: the watched run and a dark run agree bit-for-bit
+    dark, watched = tmp / "dark.json", tmp / "watched.json"
+    _cli("simulate", str(trace), "--nodes", "64", "--policy", "fcfs",
+         "--manifest", str(watched), "--live-record", str(tmp / "s2.jsonl"),
+         stdout=subprocess.DEVNULL)
+    _cli("simulate", str(trace), "--nodes", "64", "--policy", "fcfs",
+         "--manifest", str(dark), stdout=subprocess.DEVNULL)
+    d1 = RunManifest.read(dark).stable_digest()
+    d2 = RunManifest.read(watched).stable_digest()
+    assert d1 == d2, f"manifest digest diverged: dark={d1} watched={d2}"
+    print(f"manifest digest parity OK: {d1[:16]}…")
+    print("live smoke OK")
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-live-smoke-") as tmp:
+        main(Path(tmp))

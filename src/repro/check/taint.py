@@ -28,6 +28,11 @@ at check time instead of run time:
   ``os.environ``: a run's behaviour may depend only on its explicit
   config.  Observability feature gates are the sanctioned exception,
   suppressed at the read site with a justification.
+* RPR607 ``live-clock-confinement`` — in the live-telemetry module
+  (``repro.obs.live``), wall-clock reads are confined to *sink*
+  classes (those implementing ``on_snapshot``).  The bus and every
+  snapshot emitter stay clock-free, so no seed-determined path can
+  reach the wall clock through a publish.
 
 Findings are pinned at the *origin* of the offending effect (the line
 to fix or suppress), with the reachable entry point named in the
@@ -250,6 +255,83 @@ class AmbientEnvReadRule(ProjectRule):
                 f"environment access ({effect.detail}) in {effect.origin} "
                 f"is reachable from entry point {root}",
             )
+
+
+#: the method name that marks a live-view sink class (the sink protocol
+#: of :mod:`repro.obs.live`) — the only classes allowed wall-clock reads
+#: inside a live-telemetry module
+LIVE_SINK_METHOD = "on_snapshot"
+
+
+def _live_modules(project: ProjectModel) -> list[str]:
+    """Live-telemetry modules: ``*.obs.live`` wherever the tree roots."""
+    return sorted(
+        name for name in project.modules
+        if name.split(".")[-2:] == ["obs", "live"]
+    )
+
+
+def _sink_classes(project: ProjectModel, module: str) -> frozenset[str]:
+    """Classes in ``module`` implementing the sink protocol."""
+    info = project.module(module)
+    if info is None:
+        return frozenset()
+    sinks = set()
+    for name in info.classes:
+        entry = project.class_def(f"{module}.{name}")
+        if entry is None:
+            continue
+        _, cls = entry
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and item.name == LIVE_SINK_METHOD:
+                sinks.add(name)
+                break
+    return frozenset(sinks)
+
+
+@register_project
+class LiveClockConfinementRule(ProjectRule):
+    """Wall-clock reads outside sink classes in the live-telemetry module."""
+
+    id = "RPR607"
+    slug = "live-clock-confinement"
+    rationale = (
+        "Snapshot emitters run on seed-determined simulate/train paths; "
+        "only live-view *sinks* (classes implementing on_snapshot) may "
+        "read the wall clock, so publishing a snapshot can never leak "
+        "the calendar into a run."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield wall-clock effects of non-sink live-module functions."""
+        model = effects_for_project(project)
+        for module in _live_modules(project):
+            sinks = _sink_classes(project, module)
+            flagged: set[Effect] = set()
+            for qual, fi in sorted(model.index.items()):
+                if fi.module.name != module or fi.cls in sinks:
+                    continue
+                for effect in model.effects_of(qual):
+                    if effect.kind not in (KIND_CLOCK,) \
+                            or effect.detail not in WALL_CLOCK_DETAILS:
+                        continue
+                    origin_fi = model.index.get(effect.origin)
+                    if origin_fi is not None \
+                            and origin_fi.module.name == module \
+                            and origin_fi.cls in sinks:
+                        continue  # reached a sink's clock: sanctioned
+                    if effect in flagged:
+                        continue
+                    flagged.add(effect)
+                    yield ProjectFinding(
+                        effect.path, effect.line, effect.col,
+                        f"wall-clock read {effect.detail} in "
+                        f"{effect.origin} is reachable from non-sink "
+                        f"{qual}; wall-clock reads in {module} must stay "
+                        "confined to sink classes (on_snapshot "
+                        "implementors)",
+                    )
 
 
 # -- RPR604: fork/pickle-safety ------------------------------------------------

@@ -27,6 +27,11 @@ Commands
     Trace-file utilities; ``trace summarize <path>`` prints span
     rollups, decision-latency percentiles and event counts
     (:mod:`repro.obs.analyze`).
+``live``
+    Live-snapshot shard utilities; ``live summarize <shards...>``
+    merges per-process ``repro.live/v1`` / ``repro.telemetry/v1``
+    JSONL shards into one deterministic rollup
+    (:mod:`repro.obs.aggregate`).
 
 ``reproduce``, ``simulate`` and ``train`` accept ``--manifest PATH`` to
 write a :class:`~repro.obs.manifest.RunManifest` (seed, git SHA, config,
@@ -35,7 +40,11 @@ workload parameters, summary metrics) alongside their output, and
 accepts ``--telemetry PATH`` for per-episode JSONL training records.
 They also accept ``--faults SPEC`` to run under seeded fault injection
 (:mod:`repro.sim.faults`; ``reproduce`` only for the ``faultsweep``
-experiment) — see ``docs/resilience.md``.
+experiment) — see ``docs/resilience.md`` — and ``--live [PORT]`` /
+``--live-record PATH`` for an in-flight view of the run (a terminal
+progress/ETA line, optional ``/metrics`` + ``/status`` HTTP endpoints,
+snapshot shards; :mod:`repro.obs.live`, also via the ``REPRO_LIVE``
+env var) — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -93,6 +102,33 @@ def parse_faults(spec: str | None):
     return FaultConfig.from_spec(spec)
 
 
+def _make_live_bus(args: argparse.Namespace):
+    """``--live [PORT]`` / ``--live-record PATH`` → a LiveBus or None.
+
+    ``--live`` with no value shows the terminal progress/ETA line;
+    ``--live PORT`` additionally serves ``/metrics`` + ``/status`` on
+    ``127.0.0.1:PORT``; ``--live-record PATH`` appends every snapshot
+    to a JSONL shard (mergeable with ``repro live summarize``).  With
+    neither flag, returns ``None`` so components fall back to the
+    ``REPRO_LIVE`` process-global bus.
+    """
+    from repro.obs import live as _live
+
+    spec = getattr(args, "live", None)
+    record = getattr(args, "live_record", None)
+    if spec is None and record is None:
+        return None
+    bus = _live.live_from_spec(spec if spec is not None else "1")
+    server = getattr(bus, "server", None)
+    if server is not None:
+        print(f"live: serving /metrics and /status on "
+              f"http://127.0.0.1:{server.port}", file=sys.stderr)
+    if record is not None:
+        bus.attach(_live.SnapshotWriter(record))
+        print(f"live: recording snapshots to {record}", file=sys.stderr)
+    return bus
+
+
 def _print_resilience(result) -> None:
     """Print the resilience block of a faulted simulation result."""
     r = result.resilience
@@ -144,12 +180,29 @@ def _emit_report(
 # -- subcommand implementations ------------------------------------------------
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    import importlib
-
     if args.faults and args.experiment != "faultsweep":
         print("--faults applies only to the faultsweep experiment",
               file=sys.stderr)
         return 2
+
+    # the live bus is installed process-globally so every simulation an
+    # experiment runs internally publishes to it (the faultsweep also
+    # publishes its own per-cell "sweep" snapshots)
+    live = _make_live_bus(args)
+    if live is not None:
+        from repro.obs.live import set_global_live_bus
+
+        set_global_live_bus(live)
+        try:
+            return _cmd_reproduce_body(args)
+        finally:
+            set_global_live_bus(None)
+            live.close()
+    return _cmd_reproduce_body(args)
+
+
+def _cmd_reproduce_body(args: argparse.Namespace) -> int:
+    import importlib
 
     if args.experiment == "all":
         from repro.experiments.runner import combined_report, run_all
@@ -241,8 +294,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         return 1
     policy = make_policy(args.policy, objective=args.objective, seed=args.seed)
     faults = parse_faults(args.faults)
-    result = run_simulation(args.nodes, policy, jobs, trace=args.trace_out,
-                            faults=faults)
+    live = _make_live_bus(args)
+    try:
+        result = run_simulation(args.nodes, policy, jobs,
+                                trace=args.trace_out, faults=faults,
+                                live=live)
+    finally:
+        if live is not None:
+            live.close()
     _print_metrics(policy.name, result)
     _print_resilience(result)
     if args.manifest:
@@ -330,6 +389,7 @@ def cmd_train(args: argparse.Namespace) -> int:
                   "seed": args.seed},
             resume_at=resume_offset,
         )
+    live = _make_live_bus(args)
     try:
         history = train_with_curriculum(
             agent, model, base, validation, rng,
@@ -341,8 +401,11 @@ def cmd_train(args: argparse.Namespace) -> int:
             checkpoint_path=checkpoint_path,
             checkpoint_every=args.checkpoint_every,
             history=history,
+            live=live,
         )
     finally:
+        if live is not None:
+            live.close()
         if telemetry is not None:
             telemetry.close()
             print(f"wrote {telemetry.n_written} telemetry records "
@@ -627,7 +690,40 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """The ``repro live`` driver (currently: ``summarize``)."""
+    from repro.obs.aggregate import format_rollup, merge_shards
+
+    try:
+        rollup = merge_shards(args.shards)
+    except OSError as exc:
+        print(f"cannot read shard: {exc}", file=sys.stderr)
+        return 2
+    if args.json or args.out:
+        text = json.dumps(rollup, sort_keys=True, indent=2) + "\n"
+        if args.out:
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"wrote rollup to {args.out}")
+        if args.json:
+            print(text, end="")
+    if not args.json:
+        print(format_rollup(rollup), end="")
+    return 0
+
+
 # -- parser -----------------------------------------------------------------------
+
+def _add_live_args(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--live`` / ``--live-record`` flags."""
+    p.add_argument("--live", nargs="?", const="1", metavar="PORT",
+                   help="show a live progress/ETA line; with a PORT, also "
+                        "serve /metrics (Prometheus text) and /status "
+                        "(JSON) on 127.0.0.1:PORT while the run executes")
+    p.add_argument("--live-record", metavar="PATH",
+                   help="append every live snapshot to a JSONL shard "
+                        "(repro.live/v1; merge shards with "
+                        "'repro live summarize')")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -651,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a run manifest (JSON provenance record)")
     p.add_argument("--report", metavar="PATH",
                    help="also write a self-contained HTML run report")
+    _add_live_args(p)
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("generate", help="synthesize an SWF trace")
@@ -683,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a structured JSONL event trace of the run")
     p.add_argument("--report", metavar="PATH",
                    help="also write a self-contained HTML run report")
+    _add_live_args(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("train", help="train and checkpoint a DRAS agent")
@@ -720,6 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a self-contained HTML run report "
                         "(records telemetry to a sidecar if --telemetry "
                         "is not given)")
+    _add_live_args(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser(
@@ -821,6 +920,20 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--top", type=int, default=10,
                     help="rollup rows to print (default 10)")
     ps.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("live", help="live-snapshot shard utilities")
+    live_sub = p.add_subparsers(dest="live_command", required=True)
+    ps = live_sub.add_parser(
+        "summarize",
+        help="merge per-process snapshot/telemetry shards into one rollup",
+    )
+    ps.add_argument("shards", nargs="+",
+                    help="JSONL shards (repro.live/v1 or repro.telemetry/v1)")
+    ps.add_argument("--json", action="store_true",
+                    help="print the rollup as JSON instead of a summary")
+    ps.add_argument("--out", metavar="PATH",
+                    help="also write the rollup JSON to this file")
+    ps.set_defaults(func=cmd_live)
 
     p = sub.add_parser("evaluate", help="replay a trace under a checkpointed agent")
     p.add_argument("checkpoint")

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
 from repro.experiments.common import system_setup
+from repro.obs import live as _live
 from repro.schedulers import BinPacking, ConservativeBackfill, FCFSEasy, sjf
 from repro.sim.engine import run_simulation
 from repro.sim.faults import FaultConfig, ResilienceMetrics
@@ -63,19 +64,27 @@ def run(
     scale: str = "default",
     seed: int = 0,
     faults: FaultConfig | None = None,
+    live: "_live.LiveBus | None" = None,
 ) -> FaultSweepResult:
     """Sweep every policy across the MTBF grid on one Theta trace.
 
     ``faults`` overrides the base fault process (repair time, requeue
     policy, kill rate, fault seed); the grid still replaces ``mtbf``
-    per cell so the sweep shape is preserved.
+    per cell so the sweep shape is preserved.  ``live`` (explicit, else
+    the ``REPRO_LIVE`` process-global bus) receives one ``kind="sweep"``
+    snapshot per completed (policy, MTBF) cell — progress, ETA and the
+    cell's headline numbers, while the sweep is still running.
     """
     base = faults if faults is not None else BASE_FAULTS
     base = dataclasses.replace(base, seed=base.seed + seed)
     setup = system_setup("theta", scale, seed)
     trace = setup.validation_trace
+    if live is None:
+        live = _live.global_live_bus()
+    policies = _policies()
+    total = len(policies) * len(MTBF_GRID)
     cells = []
-    for policy in _policies():
+    for policy in policies:
         for mtbf in MTBF_GRID:
             cfg = dataclasses.replace(base, mtbf=mtbf)
             result = run_simulation(
@@ -84,14 +93,29 @@ def run(
                 [j.copy_fresh() for j in trace],
                 faults=cfg if cfg.active else None,
             )
-            cells.append(
-                FaultCell(
-                    policy=policy.name,
-                    mtbf=mtbf,
-                    metrics=RunMetrics.from_result(result),
-                    resilience=result.resilience,
-                )
+            cell = FaultCell(
+                policy=policy.name,
+                mtbf=mtbf,
+                metrics=RunMetrics.from_result(result),
+                resilience=result.resilience,
             )
+            cells.append(cell)
+            if live is not None:
+                r = cell.resilience
+                fields = {
+                    "cell": len(cells),
+                    "done": len(cells),
+                    "total": total,
+                    "policy": cell.policy,
+                    "mtbf": mtbf,
+                    "utilization": cell.metrics.utilization,
+                    "avg_wait_s": cell.metrics.avg_wait,
+                    "faults": r.node_failures if r else 0,
+                    "requeues": r.requeues if r else 0,
+                }
+                if len(cells) == total:
+                    fields["final"] = True
+                live.publish("sweep", fields)
     return FaultSweepResult(
         system="theta",
         num_nodes=setup.model.num_nodes,

@@ -1,0 +1,180 @@
+"""Merge per-process live-snapshot / telemetry JSONL shards into one rollup.
+
+A multi-process experiment (a faultsweep fan-out, parallel seeds, a
+training run next to a simulation) leaves one JSONL shard per process:
+``repro.live/v1`` snapshot shards written by
+:class:`~repro.obs.live.SnapshotWriter` and ``repro.telemetry/v1``
+episode logs written by :class:`~repro.rl.telemetry.TelemetryWriter`.
+This module folds any mix of them into a single deterministic rollup
+(``repro live summarize`` on the CLI).
+
+Reading is **lenient** by design: shards from killed processes may end
+in a truncated line, and that prefix is still data.  Unparseable lines
+are skipped (counted in the per-shard ``skipped`` field), never fatal.
+
+Merging is **order-independent**: shards are keyed and processed by
+their sorted basename, every per-kind reduction is commutative
+(min/max/sum/last-by-``seq``), and the output dict has sorted keys —
+the same set of shards produces byte-identical rollup JSON regardless
+of argument order or filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Mapping
+
+from repro.obs.live import LIVE_SCHEMA
+
+#: schema tag stamped on the merged rollup document
+ROLLUP_SCHEMA = "repro.live-rollup/v1"
+
+
+def read_snapshots(path: "str | os.PathLike[str]") -> dict[str, Any]:
+    """Leniently read one JSONL shard (live snapshots or telemetry).
+
+    Returns ``{"path", "source", "schema", "records", "skipped"}``.
+    ``records`` holds every well-formed JSON-object line except the
+    ``meta`` header (which supplies ``source``/``schema``); lines that
+    fail to parse — typically one truncated tail line after a crash or
+    ``kill -9`` — are counted in ``skipped`` and dropped.
+    """
+    path = os.fspath(path)
+    records: list[dict[str, Any]] = []
+    skipped = 0
+    source: str | None = None
+    schema: str | None = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(doc, dict):
+                skipped += 1
+                continue
+            if doc.get("type") == "meta":
+                schema = doc.get("schema", schema)
+                source = doc.get("source", source)
+                continue
+            records.append(doc)
+    if source is None:
+        source = os.path.basename(path)
+    return {"path": path, "source": source, "schema": schema,
+            "records": records, "skipped": skipped}
+
+
+def _snapshot_rows(shard: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Normalise one shard's records into live-snapshot rows.
+
+    ``repro.live/v1`` snapshot records pass through; telemetry
+    ``episode`` records map onto ``kind="train"`` rows (``seq`` from
+    the episode index) so both shard species merge under one scheme.
+    """
+    rows: list[dict[str, Any]] = []
+    for record in shard["records"]:
+        rtype = record.get("type")
+        if rtype == "snapshot" or record.get("schema") == LIVE_SCHEMA:
+            rows.append(dict(record))
+        elif rtype == "episode":
+            row = dict(record)
+            row.setdefault("kind", "train")
+            row.setdefault("seq", int(record.get("episode", 0)) + 1)
+            rows.append(row)
+    return rows
+
+
+_NUMERIC_SUMMARY_FIELDS = (
+    "t", "events", "queue_depth", "running", "utilization", "done", "total",
+    "faults", "requeues", "episode", "loss", "grad_norm", "train_reward",
+    "validation_reward", "updates_done", "cell",
+)
+
+
+def merge_shards(paths: Iterable["str | os.PathLike[str]"]) -> dict[str, Any]:
+    """Fold snapshot/telemetry shards into one deterministic rollup.
+
+    The rollup carries, per snapshot ``kind`` (``sim``/``train``/…):
+    the number of snapshots and contributing sources, the latest
+    snapshot of every source (highest ``seq``; source-name ties broken
+    deterministically), and min/max/last summaries for the well-known
+    numeric fields.  Shard *order does not matter*: inputs are sorted
+    by basename and every reduction is commutative, so any enumeration
+    of the same files yields byte-identical JSON.
+    """
+    shards = [read_snapshots(p) for p in paths]
+    shards.sort(key=lambda s: (os.path.basename(s["path"]), s["path"]))
+    kinds: dict[str, dict[str, Any]] = {}
+    total_skipped = 0
+    for shard in shards:
+        total_skipped += shard["skipped"]
+        for row in _snapshot_rows(shard):
+            kind = str(row.get("kind", "?"))
+            bucket = kinds.setdefault(kind, {"snapshots": 0, "sources": {},
+                                             "fields": {}})
+            bucket["snapshots"] += 1
+            source = str(row.get("source", shard["source"]))
+            latest = bucket["sources"].get(source)
+            if latest is None or row.get("seq", 0) >= latest.get("seq", 0):
+                bucket["sources"][source] = row
+            for field in _NUMERIC_SUMMARY_FIELDS:
+                value = row.get(field)
+                if not isinstance(value, (int, float)):
+                    continue
+                stats = bucket["fields"].get(field)
+                if stats is None:
+                    bucket["fields"][field] = {"min": value, "max": value}
+                else:
+                    if value < stats["min"]:
+                        stats["min"] = value
+                    if value > stats["max"]:
+                        stats["max"] = value
+    rollup_kinds: dict[str, Any] = {}
+    for kind in sorted(kinds):
+        bucket = kinds[kind]
+        sources = bucket["sources"]
+        last_rows = [sources[name] for name in sorted(sources)]
+        rollup_kinds[kind] = {
+            "snapshots": bucket["snapshots"],
+            "sources": sorted(sources),
+            "last": {name: sources[name] for name in sorted(sources)},
+            "fields": {f: bucket["fields"][f]
+                       for f in sorted(bucket["fields"])},
+            "done": sum(r["done"] for r in last_rows
+                        if isinstance(r.get("done"), (int, float))),
+            "total": sum(r["total"] for r in last_rows
+                         if isinstance(r.get("total"), (int, float))),
+        }
+    return {
+        "schema": ROLLUP_SCHEMA,
+        "shards": [{"path": os.path.basename(s["path"]),
+                    "source": s["source"], "schema": s["schema"],
+                    "records": len(s["records"]), "skipped": s["skipped"]}
+                   for s in shards],
+        "skipped": total_skipped,
+        "kinds": rollup_kinds,
+    }
+
+
+def format_rollup(rollup: Mapping[str, Any]) -> str:
+    """Human-oriented multi-line summary of a :func:`merge_shards` rollup."""
+    lines = [f"live rollup ({rollup['schema']}): "
+             f"{len(rollup['shards'])} shard(s), "
+             f"{rollup['skipped']} skipped line(s)"]
+    for shard in rollup["shards"]:
+        lines.append(f"  shard {shard['path']}: source={shard['source']} "
+                     f"schema={shard['schema']} records={shard['records']} "
+                     f"skipped={shard['skipped']}")
+    for kind, bucket in rollup["kinds"].items():
+        lines.append(f"  [{kind}] {bucket['snapshots']} snapshot(s) from "
+                     f"{len(bucket['sources'])} source(s), "
+                     f"done {bucket['done']:g}/{bucket['total']:g}")
+        for field, stats in bucket["fields"].items():
+            lines.append(f"    {field}: min={stats['min']:g} "
+                         f"max={stats['max']:g}")
+    return "\n".join(lines) + "\n"

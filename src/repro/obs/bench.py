@@ -135,6 +135,61 @@ def bench_engine_throughput(
     )
 
 
+def bench_engine_live(
+    seed: int = 0,
+    quick: bool = False,
+    rng: np.random.Generator | None = None,
+) -> BenchResult:
+    """Engine throughput with the live-telemetry bus enabled.
+
+    Same workload as :func:`bench_engine_throughput` but watched by a
+    :class:`~repro.obs.live.LiveBus` carrying a progress sink and a
+    snapshot-shard writer, both pointed at the null device — the
+    enabled-path cost of the live view (snapshot building, stamping,
+    fan-out, line rendering, JSONL serialization) without terminal or
+    disk variance.  The cadence is densified (one snapshot per 100
+    events instead of the default 2000) and the progress rate-limit
+    disabled so every publish renders; the measured overhead is an
+    upper bound on what ``--live`` costs at default settings.
+    """
+    from repro.obs.live import LiveBus, ProgressSink, SnapshotWriter
+    from repro.schedulers.fcfs import FCFSEasy
+    from repro.sim.engine import run_simulation
+
+    num_nodes = 64
+    n_jobs = 300 if quick else 2000
+    reps = 1 if quick else 3
+    live_every = 100
+    jobs = _theta_jobs(num_nodes, n_jobs, _suite_rng(seed, rng))
+
+    null_stream = open(os.devnull, "w", encoding="utf-8")
+    wall = 0.0
+    events = 0
+    try:
+        for _ in range(reps):
+            bus = LiveBus()
+            bus.attach(ProgressSink(null_stream, min_interval_s=0.0))
+            bus.attach(SnapshotWriter(os.devnull, source="bench"))
+            fresh = [j.copy_fresh() for j in jobs]
+            t0 = time.perf_counter()
+            result = run_simulation(num_nodes, FCFSEasy(), fresh,
+                                    live=bus, live_every=live_every)
+            wall += time.perf_counter() - t0
+            bus.close()
+            events += 2 * len(result.jobs)
+    finally:
+        null_stream.close()
+    return BenchResult(
+        name="engine-throughput-live",
+        reps=reps,
+        wall_s=wall,
+        rate_key="events_per_s",
+        rate=events / wall if wall > 0 else 0.0,
+        extra={"num_nodes": num_nodes, "n_jobs": n_jobs, "policy": "fcfs",
+               "live_every": live_every},
+    )
+
+
 def bench_engine_faulted(
     seed: int = 0,
     quick: bool = False,
@@ -439,6 +494,7 @@ SIM_BENCHES: tuple[Callable[..., BenchResult], ...] = (
     lambda seed=0, quick=False, rng=None: bench_engine_throughput(
         seed=seed, quick=quick, trace_to_null=True, rng=rng
     ),
+    bench_engine_live,
     bench_engine_faulted,
     bench_backfill,
     bench_conservative_profile,

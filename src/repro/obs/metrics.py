@@ -27,8 +27,54 @@ and every scheduler deriving from
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Any
+
+# -- fixed log-binned duration histogram ---------------------------------------
+#
+# The same log-spaced binning scheme as
+# :func:`repro.obs.analyze.latency_histogram`, but with *data-independent*
+# edges so a streaming update is deterministic and order-independent:
+# 4 bins per decade from 1 microsecond to 100 seconds, plus an underflow
+# bin (<= 1e-6 s, including zero/negative samples) and an overflow bin
+# (> 1e2 s).   34 integer counts per timer, updated with one ``log10``
+# and one list index per observation.
+
+#: interior bin boundaries (``TIMER_HIST_EDGES[i-1], TIMER_HIST_EDGES[i]``
+#: bound interior bin ``i``; bin 0 is underflow, bin -1 overflow)
+TIMER_HIST_EDGES: tuple[float, ...] = tuple(
+    10.0 ** (-6.0 + i / 4.0) for i in range(33)
+)
+_HIST_TOP = len(TIMER_HIST_EDGES)          # overflow bin index (33)
+_LOG_LO = -6.0
+_BINS_PER_DECADE = 4.0
+
+
+def _hist_index(seconds: float) -> int:
+    """The histogram bin index for one duration sample."""
+    if seconds <= 1e-6:
+        return 0
+    index = int((math.log10(seconds) - _LOG_LO) * _BINS_PER_DECADE) + 1
+    if index < 1:
+        return 1
+    if index > _HIST_TOP:
+        return _HIST_TOP
+    return index
+
+
+def _hist_representative(index: int) -> float:
+    """The value reported for a quantile landing in bin ``index``.
+
+    Geometric midpoint of the interior bin; the boundary edge for the
+    underflow/overflow bins.  Purely a function of the bin, so quantile
+    estimates are deterministic for a given set of counts.
+    """
+    if index <= 0:
+        return TIMER_HIST_EDGES[0]
+    if index >= _HIST_TOP:
+        return TIMER_HIST_EDGES[-1]
+    return math.sqrt(TIMER_HIST_EDGES[index - 1] * TIMER_HIST_EDGES[index])
 
 
 class Counter:
@@ -83,9 +129,15 @@ class Timer:
     host date).  ``ema`` smooths with factor ``ema_alpha`` — the first
     observation seeds it, after which
     ``ema = alpha * sample + (1 - alpha) * ema``.
+
+    Every observation also lands in a fixed log-binned histogram
+    (``bins``; see :data:`TIMER_HIST_EDGES`), from which
+    :meth:`quantile` and the ``p50``/``p90``/``p99`` properties derive
+    deterministic nearest-rank estimates — the same samples produce the
+    same quantiles in any arrival order.
     """
 
-    __slots__ = ("count", "total", "last", "ema", "ema_alpha")
+    __slots__ = ("count", "total", "last", "ema", "ema_alpha", "bins")
 
     def __init__(self, ema_alpha: float = 0.2) -> None:
         if not 0.0 < ema_alpha <= 1.0:
@@ -95,6 +147,8 @@ class Timer:
         self.last = 0.0
         self.ema = 0.0
         self.ema_alpha = ema_alpha
+        #: underflow + 32 log-spaced interior bins + overflow
+        self.bins = [0] * (_HIST_TOP + 1)
 
     def observe(self, seconds: float) -> None:
         """Record one duration sample (in seconds)."""
@@ -105,11 +159,45 @@ class Timer:
             self.ema = seconds
         else:
             self.ema += self.ema_alpha * (seconds - self.ema)
+        self.bins[_hist_index(seconds)] += 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of all observed durations."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the binned samples.
+
+        Resolution is the histogram's (4 bins/decade); the estimate is
+        the geometric midpoint of the bin holding the ranked sample.
+        Returns 0.0 with no observations.
+        """
+        total = sum(self.bins)
+        if total == 0:
+            return 0.0
+        rank = max(1, min(total, math.ceil(q * total)))
+        seen = 0
+        for index, bin_count in enumerate(self.bins):
+            seen += bin_count
+            if seen >= rank:
+                return _hist_representative(index)
+        return _hist_representative(_HIST_TOP)
+
+    @property
+    def p50(self) -> float:
+        """Median duration estimate (binned nearest-rank)."""
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """90th-percentile duration estimate (binned nearest-rank)."""
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile duration estimate (binned nearest-rank)."""
+        return self.quantile(0.99)
 
     def reset(self) -> None:
         """Forget every observation (``ema_alpha`` is kept)."""
@@ -117,6 +205,7 @@ class Timer:
         self.total = 0.0
         self.last = 0.0
         self.ema = 0.0
+        self.bins = [0] * (_HIST_TOP + 1)
 
     def time(self) -> "_TimerContext":
         """Context manager observing the duration of a ``with`` block."""
@@ -196,7 +285,9 @@ class MetricsRegistry:
 
         Counters map to their integer value; gauges to
         ``{value, min, max, samples}``; timers to
-        ``{count, total_s, mean_s, last_s, ema_s}``.
+        ``{count, total_s, mean_s, last_s, ema_s, p50_s, p90_s, p99_s,
+        hist_counts}`` (``hist_counts`` indexes into
+        :data:`TIMER_HIST_EDGES`, underflow first, overflow last).
         """
         out: dict[str, Any] = {}
         for name in sorted(self._instruments):
@@ -204,19 +295,28 @@ class MetricsRegistry:
             if isinstance(instrument, Counter):
                 out[name] = instrument.value
             elif isinstance(instrument, Gauge):
-                out[name] = {
+                # summary dicts are built once per snapshot() call (end
+                # of run / scrape), not per observation — the hot-path
+                # cost of an instrument is its inc/set/observe
+                out[name] = {  # repro: noqa[hot-loop-alloc]
                     "value": instrument.value,
                     "min": instrument.min if instrument.samples else None,
                     "max": instrument.max if instrument.samples else None,
                     "samples": instrument.samples,
                 }
             elif isinstance(instrument, Timer):
-                out[name] = {
+                out[name] = {  # repro: noqa[hot-loop-alloc]
                     "count": instrument.count,
                     "total_s": instrument.total,
                     "mean_s": instrument.mean,
                     "last_s": instrument.last,
                     "ema_s": instrument.ema,
+                    "p50_s": instrument.p50,
+                    "p90_s": instrument.p90,
+                    "p99_s": instrument.p99,
+                    # deliberate copy: the caller gets a stable list
+                    # while the timer keeps observing
+                    "hist_counts": list(instrument.bins),  # repro: noqa[hot-loop-alloc, hot-rebuild]
                 }
         return out
 

@@ -1,0 +1,216 @@
+"""Dependency-free Prometheus text-format exposition for metrics.
+
+Renders :class:`~repro.obs.metrics.MetricsRegistry` instruments in the
+Prometheus *text exposition format* (version 0.0.4 — the ``/metrics``
+wire format every Prometheus-compatible scraper speaks):
+
+* counters   → ``# TYPE <name> counter`` + one sample,
+* gauges     → ``# TYPE <name> gauge`` + one sample,
+* timers     → ``# TYPE <name> summary`` + ``{quantile="0.5|0.9|0.99"}``
+  samples (the deterministic binned estimates of
+  :meth:`~repro.obs.metrics.Timer.quantile`), ``_sum`` and ``_count``.
+
+Metric names are sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset
+(dots become underscores) and prefixed per component, so the engine's
+``engine.events_submit`` counter exposes as
+``repro_engine_events_submit``.
+
+:func:`lint_prometheus` is the matching tiny validator used by tests
+and the CI live-smoke job: it checks line grammar, name charset, value
+parseability and TYPE-before-sample ordering, returning a list of
+problems (empty = valid).
+
+Everything here is pure string work over instrument values — no
+sockets, no clocks — so it stays out of the RPR6xx effect root sets.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+
+#: quantiles exposed for every timer, with their label spellings
+SUMMARY_QUANTILES: tuple[tuple[float, str], ...] = (
+    (0.50, "0.5"),
+    (0.90, "0.9"),
+    (0.99, "0.99"),
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?\Z"
+)
+_LABELS_RE = re.compile(
+    r'\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*)?\}\Z'
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an instrument name onto the Prometheus name charset.
+
+    Dots (our namespace separator) and any other invalid character
+    become underscores; a leading digit gains an underscore prefix.
+    """
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    """One sample value, with Prometheus spellings for non-finite."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _render_counter(lines: list[str], name: str, counter: Counter) -> None:
+    lines.append(f"# TYPE {name} counter")
+    lines.append(f"{name} {_format_value(counter.value)}")
+
+
+def _render_gauge(lines: list[str], name: str, gauge: Gauge) -> None:
+    lines.append(f"# TYPE {name} gauge")
+    lines.append(f"{name} {_format_value(gauge.value)}")
+
+
+def _render_timer(lines: list[str], name: str, timer: Timer) -> None:
+    lines.append(f"# TYPE {name} summary")
+    for q, label in SUMMARY_QUANTILES:
+        lines.append(
+            f'{name}{{quantile="{label}"}} {_format_value(timer.quantile(q))}'
+        )
+    lines.append(f"{name}_sum {_format_value(timer.total)}")
+    lines.append(f"{name}_count {_format_value(timer.count)}")
+
+
+def render_registry(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render one registry's instruments as Prometheus text format.
+
+    ``prefix`` namespaces every metric (``<prefix>_<sanitised name>``).
+    Instrument names are emitted sorted, so the rendering for a given
+    registry state is deterministic.
+    """
+    lines: list[str] = []
+    for name in registry.names():
+        instrument = registry._instruments[name]
+        metric = sanitize_metric_name(f"{prefix}_{name}" if prefix else name)
+        if isinstance(instrument, Counter):
+            _render_counter(lines, metric, instrument)
+        elif isinstance(instrument, Gauge):
+            _render_gauge(lines, metric, instrument)
+        elif isinstance(instrument, Timer):
+            _render_timer(lines, metric, instrument)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_prometheus(
+    registries: Mapping[str, MetricsRegistry],
+    extra: Mapping[str, float] | None = None,
+    prefix: str = "repro",
+) -> str:
+    """Render several component registries into one exposition page.
+
+    ``registries`` maps a component tag (``"engine"``, ``"trainer"``)
+    onto its registry; metrics expose as ``<prefix>_<tag>_<name>``.
+    ``extra`` adds ad-hoc gauge samples (already-derived scalars such
+    as progress or ETA) under ``<prefix>_<name>``.
+    """
+    pages: list[str] = []
+    for tag in sorted(registries):
+        component_prefix = f"{prefix}_{tag}" if prefix else tag
+        page = render_registry(registries[tag], prefix=component_prefix)
+        if page:
+            pages.append(page)
+    if extra:
+        lines: list[str] = []
+        for name in sorted(extra):
+            metric = sanitize_metric_name(f"{prefix}_{name}" if prefix else name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(extra[name])}")
+        pages.append("\n".join(lines) + "\n")
+    return "".join(pages)
+
+
+def _parse_float(text: str) -> bool:
+    """Whether ``text`` is a valid Prometheus sample value."""
+    if text in ("NaN", "+Inf", "-Inf", "Inf"):
+        return True
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Validate Prometheus text-format output; returns problems found.
+
+    Checks, per line: grammar (comment / sample / blank), metric-name
+    charset, label-block syntax, value parseability; and across lines:
+    at most one ``# TYPE`` per metric family, samples of a family
+    appearing only after its ``# TYPE``, and a trailing newline.  An
+    empty list means the page is valid.
+    """
+    problems: list[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("missing trailing newline")
+    typed: set[str] = set()
+    sampled_without_type: set[str] = set()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3:
+                    problems.append(f"line {line_no}: bare # {parts[1]}")
+                    continue
+                family = parts[2]
+                if not _NAME_RE.match(family):
+                    problems.append(
+                        f"line {line_no}: invalid metric name {family!r}"
+                    )
+                if parts[1] == "TYPE":
+                    if family in typed:
+                        problems.append(
+                            f"line {line_no}: duplicate # TYPE for {family}"
+                        )
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "summary", "histogram", "untyped",
+                    ):
+                        problems.append(
+                            f"line {line_no}: unknown TYPE for {family}"
+                        )
+                    typed.add(family)
+            # other comments are free-form
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        labels = match.group("labels")
+        if labels is not None and not _LABELS_RE.match(labels):
+            problems.append(f"line {line_no}: invalid label block {labels!r}")
+        if not _parse_float(match.group("value")):
+            problems.append(
+                f"line {line_no}: invalid value {match.group('value')!r}"
+            )
+        name = match.group("name")
+        family = re.sub(r"_(sum|count|bucket)\Z", "", name)
+        if name not in typed and family not in typed:
+            sampled_without_type.add(name)
+    for name in sorted(sampled_without_type):
+        problems.append(f"sample {name} has no preceding # TYPE")
+    return problems

@@ -16,6 +16,17 @@ duration-only monotonic clock — never the host date) so span durations
 can be recovered; simulator records additionally carry the engine clock
 in a ``t`` field.
 
+Serialization is a hot path (the ``engine-throughput-traced``
+benchmark measures it): records whose values are plain scalars are
+rendered by a specialized formatter that produces byte-identical
+output to ``json.dumps`` (same separators, same float ``repr``, same
+string escaping via a memo of ``json.dumps``-escaped fragments); any
+record with a non-scalar value falls back to a shared
+:class:`json.JSONEncoder`.  Either way the line is rendered *at emit
+time* — field values are captured immediately, so callers may mutate
+them afterwards — and buffered lines are written out in one batched
+``write`` per :meth:`Tracer.flush`.
+
 Activation mirrors the PR 1 sanitizer contract:
 
 * globally, via the ``REPRO_TRACE`` environment variable naming the
@@ -59,6 +70,125 @@ def _json_default(value: Any) -> Any:
     return str(value)
 
 
+# -- fast record serialization -------------------------------------------------
+#
+# One shared fallback encoder (building a JSONEncoder per record, as
+# ``json.dumps(..., default=...)`` does, is measurable at trace rates)
+# plus a scalar fast path that mirrors its output byte for byte.
+
+_FALLBACK_ENCODE = json.JSONEncoder(default=_json_default).encode
+
+#: memo of ``json.dumps``-escaped string fragments (names, modes, field
+#: keys — low-cardinality by construction); capped so pathological
+#: callers cannot grow it without bound
+_STR_MEMO: dict[str, str] = {}
+_STR_MEMO_MAX = 4096
+
+_INF = float("inf")
+
+
+def _str_fragment(value: str) -> str:
+    """The ``json.dumps`` rendering of one string, memoized."""
+    fragment = _STR_MEMO.get(value)
+    if fragment is None:
+        fragment = json.dumps(value)
+        if len(_STR_MEMO) < _STR_MEMO_MAX:
+            _STR_MEMO[value] = fragment
+    return fragment
+
+
+def _value_fragment(value: Any) -> str | None:
+    """Render one scalar exactly as ``json.dumps`` would, else ``None``.
+
+    Exact types only (subclasses fall back: ``json`` may treat them
+    differently); non-finite floats fall back so they keep the
+    ``NaN``/``Infinity`` spellings of the stock encoder.
+    """
+    cls = value.__class__
+    if cls is str:
+        return _str_fragment(value)
+    if cls is int:
+        return repr(value)
+    if cls is float:
+        return repr(value) if -_INF < value < _INF else None
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return None
+
+
+def _append_fields(parts: list[str], fields: dict[str, Any]) -> bool:
+    """Append rendered ``"key": value`` fragments; False on a miss.
+
+    A miss (any non-scalar value) leaves ``parts`` partially extended —
+    the caller abandons it and re-renders the whole record through the
+    fallback encoder, so no partial output can ever escape.
+    """
+    for key, value in fields.items():
+        fragment = _value_fragment(value)
+        if fragment is None:
+            return False
+        parts.append(_str_fragment(key) + ": " + fragment)
+    return True
+
+
+#: fixed record fields; a caller field colliding with one of these must
+#: take the dict/fallback path to keep ``dict.update`` override semantics
+_BASE_KEYS = frozenset({"type", "name", "sid", "pid", "wall", "value"})
+
+
+def _render_record(record: dict[str, Any]) -> str:
+    """Serialize a whole record dict (fast path, fallback on misses)."""
+    parts: list[str] = []
+    if _append_fields(parts, record):
+        return "{" + ", ".join(parts) + "}"
+    return _FALLBACK_ENCODE(record)
+
+
+# Record *shapes* — (record type, name, field-key tuple) — are
+# low-cardinality: one per instrumentation call site.  Each shape's
+# skeleton is compiled once into a ``%``-format template ("%d" span id,
+# "%s" pid slot, "%r" wall, one "%s" per field value), so the per-record
+# work is a cache hit, one scalar fragment per field and a single
+# C-level format — the name/key escaping and base-key collision check
+# happen once per shape instead of once per record.  ``False`` marks a
+# shape that must always take the fallback encoder (non-string name or
+# a field colliding with a base key).
+
+_TEMPLATES: dict[tuple, "str | bool"] = {}
+_TEMPLATES_MAX = 4096
+
+
+def _shape_template(rtype: str, name: str, fields: dict[str, Any],
+                    head: str) -> "str | bool":
+    """The cached template for this record shape, compiling on a miss.
+
+    ``head`` carries the fixed slots between ``name`` and the fields
+    (pid/wall, plus the ``sid``/``value`` slots where the record type
+    has them).  Returns ``False`` for a shape that must always take the
+    fallback encoder (a field colliding with a base key).
+    """
+    key = (rtype, name, *fields)
+    template = _TEMPLATES.get(key)
+    if template is None:
+        if _BASE_KEYS.isdisjoint(fields):
+            parts = ['"type": "' + rtype + '"',
+                     '"name": ' + _str_fragment(name).replace("%", "%%"),
+                     head]
+            for field_key in fields:
+                parts.append(_str_fragment(field_key).replace("%", "%%")
+                             + ": %s")
+            template = "{" + ", ".join(parts) + "}"
+        else:
+            template = False
+        if len(_TEMPLATES) < _TEMPLATES_MAX:
+            _TEMPLATES[key] = template
+    return template
+
+
 class Tracer:
     """Appends structured records to a JSONL sink.
 
@@ -70,7 +200,7 @@ class Tracer:
     buffer_lines:
         Records are buffered and flushed to the sink every this many
         lines (and on :meth:`close`/:meth:`flush`), keeping the per-record
-        cost to a ``json.dumps`` plus a list append.
+        cost to rendering one string plus a list append.
     """
 
     __slots__ = ("_fh", "_owns_fh", "_buffer", "_buffer_lines",
@@ -94,7 +224,7 @@ class Tracer:
 
     # -- record emission ---------------------------------------------------
     def _write(self, record: dict[str, Any]) -> None:
-        self._buffer.append(json.dumps(record, default=_json_default))
+        self._buffer.append(_render_record(record))
         if len(self._buffer) >= self._buffer_lines:
             self.flush()
 
@@ -102,28 +232,53 @@ class Tracer:
         """Open a span; returns its id.  Close it with :meth:`end`."""
         sid = self._next_sid
         self._next_sid += 1
-        record: dict[str, Any] = {
-            "type": "begin",
-            "name": name,
-            "sid": sid,
-            "pid": self._stack[-1] if self._stack else None,
-            "wall": time.perf_counter(),
-        }
-        if fields:
+        stack = self._stack
+        pid = stack[-1] if stack else None
+        wall = time.perf_counter()
+        line: str | None = None
+        if name.__class__ is str:
+            template = _shape_template(
+                "begin", name, fields, '"sid": %d, "pid": %s, "wall": %r')
+            if template is not False:
+                values: list[Any] = [sid, "null" if pid is None else pid,
+                                     wall]
+                complete = True
+                for value in fields.values():
+                    fragment = _value_fragment(value)
+                    if fragment is None:
+                        complete = False
+                        break
+                    values.append(fragment)
+                if complete:
+                    line = template % tuple(values)
+        if line is None:
+            record: dict[str, Any] = {
+                "type": "begin", "name": name, "sid": sid,
+                "pid": pid, "wall": wall,
+            }
             record.update(fields)
-        self._write(record)
-        self._stack.append(sid)
+            line = _FALLBACK_ENCODE(record)
+        buffer = self._buffer
+        buffer.append(line)
+        if len(buffer) >= self._buffer_lines:
+            self.flush()
+        stack.append(sid)
         return sid
 
     def end(self, sid: int) -> None:
         """Close the span ``sid`` (must be the innermost open span)."""
-        if not self._stack or self._stack[-1] != sid:
+        stack = self._stack
+        if not stack or stack[-1] != sid:
             raise ValueError(
                 f"span {sid} is not the innermost open span "
-                f"(stack: {self._stack[-3:]})"
+                f"(stack: {stack[-3:]})"
             )
-        self._stack.pop()
-        self._write({"type": "end", "sid": sid, "wall": time.perf_counter()})
+        stack.pop()
+        buffer = self._buffer
+        buffer.append('{"type": "end", "sid": %d, "wall": %r}'
+                      % (sid, time.perf_counter()))
+        if len(buffer) >= self._buffer_lines:
+            self.flush()
 
     def span(self, name: str, **fields: Any) -> "_SpanContext":
         """Context manager opening a span around a ``with`` block."""
@@ -131,28 +286,69 @@ class Tracer:
 
     def event(self, name: str, **fields: Any) -> None:
         """Record an instantaneous event inside the current span."""
-        record: dict[str, Any] = {
-            "type": "event",
-            "name": name,
-            "pid": self._stack[-1] if self._stack else None,
-            "wall": time.perf_counter(),
-        }
-        if fields:
+        stack = self._stack
+        pid = stack[-1] if stack else None
+        wall = time.perf_counter()
+        line: str | None = None
+        if name.__class__ is str:
+            template = _shape_template(
+                "event", name, fields, '"pid": %s, "wall": %r')
+            if template is not False:
+                values: list[Any] = ["null" if pid is None else pid, wall]
+                complete = True
+                for value in fields.values():
+                    fragment = _value_fragment(value)
+                    if fragment is None:
+                        complete = False
+                        break
+                    values.append(fragment)
+                if complete:
+                    line = template % tuple(values)
+        if line is None:
+            record: dict[str, Any] = {
+                "type": "event", "name": name, "pid": pid, "wall": wall,
+            }
             record.update(fields)
-        self._write(record)
+            line = _FALLBACK_ENCODE(record)
+        buffer = self._buffer
+        buffer.append(line)
+        if len(buffer) >= self._buffer_lines:
+            self.flush()
 
     def counter(self, name: str, value: float, **fields: Any) -> None:
         """Record a named numeric sample."""
-        record: dict[str, Any] = {
-            "type": "counter",
-            "name": name,
-            "value": value,
-            "pid": self._stack[-1] if self._stack else None,
-            "wall": time.perf_counter(),
-        }
-        if fields:
+        stack = self._stack
+        pid = stack[-1] if stack else None
+        wall = time.perf_counter()
+        line: str | None = None
+        value_fragment = _value_fragment(value)
+        if value_fragment is not None and name.__class__ is str:
+            template = _shape_template(
+                "counter", name, fields,
+                '"value": %s, "pid": %s, "wall": %r')
+            if template is not False:
+                values: list[Any] = [value_fragment,
+                                     "null" if pid is None else pid, wall]
+                complete = True
+                for extra in fields.values():
+                    fragment = _value_fragment(extra)
+                    if fragment is None:
+                        complete = False
+                        break
+                    values.append(fragment)
+                if complete:
+                    line = template % tuple(values)
+        if line is None:
+            record: dict[str, Any] = {
+                "type": "counter", "name": name, "value": value,
+                "pid": pid, "wall": wall,
+            }
             record.update(fields)
-        self._write(record)
+            line = _FALLBACK_ENCODE(record)
+        buffer = self._buffer
+        buffer.append(line)
+        if len(buffer) >= self._buffer_lines:
+            self.flush()
 
     # -- lifecycle ----------------------------------------------------------
     def flush(self) -> None:

@@ -38,6 +38,7 @@ def train_with_curriculum(
     checkpoint_path=None,
     checkpoint_every: int = 1,
     history: TrainingHistory | None = None,
+    live=None,
 ) -> TrainingHistory:
     """Train ``agent`` with the three-phase curriculum.
 
@@ -45,7 +46,8 @@ def train_with_curriculum(
     synthetic jobsets); experiments scale the counts down via the
     keyword arguments.  ``telemetry`` (a
     :class:`~repro.rl.telemetry.TelemetryWriter` or path), ``faults``
-    (a :class:`~repro.sim.faults.FaultConfig`) and the checkpoint knobs
+    (a :class:`~repro.sim.faults.FaultConfig`), ``live`` (a
+    :class:`~repro.obs.live.LiveBus`) and the checkpoint knobs
     are forwarded to the :class:`~repro.rl.trainer.Trainer`; ``history``
     resumes a checkpointed run (completed episodes are skipped, so the
     curriculum must be regenerated with the *same* ``rng`` seed the
@@ -64,7 +66,7 @@ def train_with_curriculum(
     trainer = Trainer(agent, model.num_nodes, validation_jobs=validation_jobs,
                       telemetry=telemetry, faults=faults,
                       checkpoint_path=checkpoint_path,
-                      checkpoint_every=checkpoint_every)
+                      checkpoint_every=checkpoint_every, live=live)
     return trainer.train(_flatten(phases), history=history)
 
 

@@ -17,6 +17,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import live as _live
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.rl import checkpoint as _checkpoint
@@ -107,6 +108,13 @@ class Trainer:
         the episode index so every episode sees a fresh but
         reproducible fault schedule); validation always replays the
         base seed so scores stay comparable across episodes.
+    live:
+        In-flight snapshot publishing (:mod:`repro.obs.live`).  Pass a
+        :class:`~repro.obs.live.LiveBus`; ``None`` (the default)
+        follows the process-global bus (``REPRO_LIVE`` env var).  The
+        trainer publishes one ``kind="train"`` snapshot per completed
+        episode — an event-count cadence, so a live-enabled run is
+        bit-identical to a dark one.
     """
 
     def __init__(
@@ -119,6 +127,7 @@ class Trainer:
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 1,
         faults: FaultConfig | None = None,
+        live: "_live.LiveBus | None" = None,
     ) -> None:
         if snapshot_every <= 0:
             raise ValueError("snapshot_every must be positive")
@@ -133,6 +142,7 @@ class Trainer:
         )
         self.checkpoint_every = checkpoint_every
         self.faults = faults
+        self._live_flag = live
         #: always-on training statistics (episode counts, phase timers)
         self.metrics = MetricsRegistry()
         if isinstance(telemetry, (str, Path)):
@@ -143,6 +153,35 @@ class Trainer:
         self._episode_load: dict[str, Any] = {}
         if telemetry is not None:
             self._enable_agent_stats()
+
+    @property
+    def live_bus(self) -> "_live.LiveBus | None":
+        """The live bus this trainer publishes to (explicit, else global)."""
+        if self._live_flag is not None:
+            return self._live_flag
+        return _live.global_live_bus()
+
+    def _publish_live(self, live: "_live.LiveBus", stats: EpisodeStats,
+                      total: int) -> None:
+        """Publish one ``kind="train"`` snapshot for a completed episode."""
+        fields: dict[str, Any] = {
+            "episode": stats.episode,
+            "phase": stats.phase,
+            "num_jobs": stats.num_jobs,
+            "train_reward": stats.train_reward,
+            "validation_reward": stats.validation_reward,
+            "updates_done": stats.updates_done,
+            "done": stats.episode + 1,
+            "total": total,
+        }
+        fields.update(self._agent_learning_stats())
+        for key in ("queue_depth_last", "utilization"):
+            value = self._episode_load.get(key)
+            if value is not None:
+                fields[key.replace("_last", "")] = value
+        if stats.episode + 1 >= total:
+            fields["final"] = True
+        live.publish("train", fields)
 
     def _enable_agent_stats(self) -> None:
         """Turn on the agent-side learning-signal collectors."""
@@ -273,6 +312,9 @@ class Trainer:
                 f"history already has {done} episodes but only "
                 f"{len(jobsets)} jobsets were supplied"
             )
+        live = self.live_bus
+        if live is not None:
+            live.register_metrics("trainer", self.metrics)
         for phase, jobset in jobsets[done:]:
             episode = len(history.episodes)
             train_reward = self.run_episode(jobset, episode=episode)
@@ -290,6 +332,8 @@ class Trainer:
             )
             if self.telemetry is not None:
                 self._emit_telemetry(history.episodes[-1])
+            if live is not None:
+                self._publish_live(live, history.episodes[-1], len(jobsets))
             if episode % self.snapshot_every == 0:
                 history.snapshots.append(self.agent.state_dict())
             if self.checkpoint_path is not None \

@@ -71,12 +71,19 @@ class BackfillPlanner:
         take the first element while DRAS's level-2 network chooses
         freely among them.
         """
+        # `allows` inlined (hot path: one scan per free-choice decision);
+        # the arithmetic matches Reservation.allows exactly — only the
+        # loop-invariant `shadow_time + 1e-9` is hoisted
         free = self._cluster.available_nodes
+        reserved_id = reservation.job_id
+        cutoff = reservation.shadow_time + 1e-9
+        extra = reservation.extra_nodes
         return [
             job
             for job in jobs
-            if job.job_id != reservation.job_id
-            and reservation.allows(job, now, free)
+            if job.job_id != reserved_id
+            and job.size <= free
+            and (now + job.walltime <= cutoff or job.size <= extra)
         ]
 
     def first_candidate(
@@ -88,9 +95,17 @@ class BackfillPlanner:
         the first hit avoids materialising the full candidate list that
         :meth:`candidates` builds for free-choice policies.
         """
+        # `allows` inlined as in :meth:`candidates`, short-circuiting on
+        # the first hit; ~100 jobs are scanned per call at scale, so the
+        # per-job method call is measurable
         free = self._cluster.available_nodes
         reserved_id = reservation.job_id
+        cutoff = reservation.shadow_time + 1e-9
+        extra = reservation.extra_nodes
         for job in jobs:
-            if job.job_id != reserved_id and reservation.allows(job, now, free):
-                return job
+            if job.job_id != reserved_id:
+                size = job.size
+                if size <= free and (now + job.walltime <= cutoff
+                                     or size <= extra):
+                    return job
         return None

@@ -27,11 +27,12 @@ import time
 from time import perf_counter as _perf_counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Protocol, Sequence
+from typing import Any, Iterable, Protocol, Sequence
 
 import numpy as np
 
 from repro.check import sanitize as _san
+from repro.obs import live as _live
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
@@ -292,6 +293,19 @@ class Engine:
         default) follows the process-global profiler
         (``REPRO_PROFILE=path`` env var).  Profiling is observe-only
         and bit-identical in simulated time, like tracing.
+    live:
+        In-flight snapshot publishing (:mod:`repro.obs.live`).  Pass a
+        :class:`~repro.obs.live.LiveBus`; ``None`` (the default)
+        follows the process-global bus (``REPRO_LIVE`` env var).  The
+        engine publishes a ``kind="sim"`` snapshot every
+        ``live_every`` processed events plus a final one at
+        completion.  Publishing is observe-only: a live-enabled run is
+        bit-identical to a dark one.
+    live_every:
+        Event-count publish cadence for ``live`` (default
+        :data:`~repro.obs.live.LIVE_SIM_EVERY`).  A count — never a
+        wall-clock timer — so the set of published snapshots is a pure
+        function of the run.
     faults:
         Optional :class:`~repro.sim.faults.FaultConfig` activating the
         seeded fault model (node failures/repairs, job kills, requeue).
@@ -317,6 +331,8 @@ class Engine:
         sanitize: bool | None = None,
         trace: "_trace.Tracer | str | Path | None" = None,
         profile: "_profile.Profiler | None" = None,
+        live: "_live.LiveBus | None" = None,
+        live_every: int = _live.LIVE_SIM_EVERY,
         faults: FaultConfig | None = None,
         max_events: int | None = None,
         max_wall_s: float | None = None,
@@ -330,6 +346,10 @@ class Engine:
             trace = _trace.Tracer(trace)
         self._trace_flag = trace
         self._profile_flag = profile
+        self._live_flag = live
+        if live_every <= 0:
+            raise ValueError(f"live_every must be positive, got {live_every}")
+        self.live_every = live_every
         self.scheduler = scheduler
         self.queue = WaitQueue()
         self.planner = BackfillPlanner(cluster)
@@ -373,6 +393,9 @@ class Engine:
         self._run_tracer: "_trace.Tracer | None" = None
         #: profiler resolved at the top of :meth:`run` (None when off)
         self._run_prof: "_profile.Profiler | None" = None
+        #: sanitize decision pinned for the duration of :meth:`run`
+        #: (None outside a run: fall through to flag/env resolution)
+        self._run_sanitize: bool | None = None
 
         for job in jobs:
             if job.state is not JobState.PENDING:
@@ -392,6 +415,8 @@ class Engine:
     @property
     def sanitize_active(self) -> bool:
         """Whether runtime invariant checks run for this engine."""
+        if self._run_sanitize is not None:
+            return self._run_sanitize
         if self._sanitize_flag is not None:
             return self._sanitize_flag
         return _san.sanitizer_enabled()
@@ -409,6 +434,38 @@ class Engine:
         if self._profile_flag is not None:
             return self._profile_flag
         return _profile.global_profiler()
+
+    @property
+    def live_bus(self) -> "_live.LiveBus | None":
+        """The live bus this engine publishes to (explicit, else global)."""
+        if self._live_flag is not None:
+            return self._live_flag
+        return _live.global_live_bus()
+
+    def _publish_live(self, live: "_live.LiveBus", events_seen: int,
+                      final: bool) -> None:
+        """Publish one ``kind="sim"`` snapshot of the run's state."""
+        cluster = self.cluster
+        free = cluster.available_nodes
+        fields: dict[str, Any] = {
+            "t": self.now,
+            "events": events_seen,
+            "instances": self.num_instances,
+            "queue_depth": len(self.queue),
+            "running": len(self._running),
+            "free_nodes": free,
+            "num_nodes": cluster.num_nodes,
+            "utilization": (cluster.num_nodes - free) / cluster.num_nodes,
+            "done": len(self._jobs) - self._jobs_remaining,
+            "total": len(self._jobs),
+        }
+        if self.injector is not None:
+            counters = self.injector.counters
+            fields["faults"] = counters.node_failures
+            fields["requeues"] = counters.requeues
+        if final:
+            fields["final"] = True
+        live.publish("sim", fields)
 
     # -- internal hooks used by the view ----------------------------------------
     def _start_job(self, job: Job, mode: ExecMode) -> None:
@@ -580,10 +637,18 @@ class Engine:
             hook(self)
 
         sanitize_active = self.sanitize_active
+        # pin for the run: the per-start/per-reserve hooks consult the
+        # property, and resolving the env var each time is measurable
+        self._run_sanitize = sanitize_active
         tracer = self.tracer
         self._run_tracer = tracer
         prof = self.profiler
         self._run_prof = prof
+        live = self.live_bus
+        live_every = self.live_every
+        live_pending = 0
+        if live is not None:
+            live.register_metrics("engine", self.metrics)
         prof_depth = prof.open_depth if prof is not None else 0
         # share (not duplicate) the per-instance instruments with the
         # scheduler's registry, so the hot loop records each sample once
@@ -663,6 +728,16 @@ class Engine:
                     tracer.end(span)
                 if prof is not None:
                     prof.pop()
+                if live is not None:
+                    # event-count cadence (never a wall-clock timer): the
+                    # snapshot sequence is a pure function of the run
+                    live_pending += len(batch)
+                    if live_pending >= live_every:
+                        live_pending = 0
+                        self._publish_live(live, events_seen, final=False)
+
+            if live is not None:
+                self._publish_live(live, events_seen, final=True)
 
             if len(self.queue) > 0 and not self._running:
                 stuck = [j.job_id for j in self.queue.waiting]
@@ -681,6 +756,7 @@ class Engine:
                 tracer.flush()
             self._run_tracer = None
             self._run_prof = None
+            self._run_sanitize = None
 
         hook = getattr(self.scheduler, "on_simulation_end", None)
         if hook is not None:
@@ -753,13 +829,9 @@ class Engine:
         sample = _perf_counter() - t0
         if prof is not None:
             prof.pop()
-        timer.count += 1
-        timer.total += sample
-        timer.last = sample
-        if timer.count == 1:
-            timer.ema = sample
-        else:
-            timer.ema += timer.ema_alpha * (sample - timer.ema)
+        # one method call per *instance* (not per event): cheap enough,
+        # and it keeps the EMA + histogram update logic in one place
+        timer.observe(sample)
         for obs in self.observers:
             handler = getattr(obs, "on_instance", None)
             if handler is not None:
@@ -776,6 +848,8 @@ def run_simulation(
     sanitize: bool | None = None,
     trace: "_trace.Tracer | str | Path | None" = None,
     profile: "_profile.Profiler | None" = None,
+    live: "_live.LiveBus | None" = None,
+    live_every: int = _live.LIVE_SIM_EVERY,
     faults: FaultConfig | None = None,
     max_events: int | None = None,
     max_wall_s: float | None = None,
@@ -792,6 +866,8 @@ def run_simulation(
         sanitize=sanitize,
         trace=trace,
         profile=profile,
+        live=live,
+        live_every=live_every,
         faults=faults,
         max_events=max_events,
         max_wall_s=max_wall_s,

@@ -630,6 +630,82 @@ class TestUnpicklableCaptureRule:
         assert not any(v.rule_id == "RPR604" for v in findings)
 
 
+#: a live-telemetry module whose bus (a non-sink) reads the wall clock
+LIVE_CLOCK_TREE = {
+    "repro/__init__.py": "",
+    "repro/obs/__init__.py": "",
+    "repro/obs/live.py": """
+        import time
+
+        class Bus:
+            def publish(self, fields):
+                record = {"wall": time.time()}
+                record.update(fields)
+                return record
+
+        class Writer:
+            def on_snapshot(self, record):
+                return self.stamp()
+
+            def stamp(self):
+                return time.time()
+
+        def schema_tag():
+            return "repro.live/v1"
+    """,
+}
+
+
+class TestLiveClockConfinementRule:
+    def test_non_sink_wall_clock_fires(self, tmp_path):
+        root = write_tree(tmp_path, dict(LIVE_CLOCK_TREE))
+        findings = rpr6(analyze_project(root / "repro", package="repro"))
+        hits = [v for v in findings if v.rule_id == "RPR607"]
+        assert len(hits) == 1
+        assert "time.time" in hits[0].message
+        assert "Bus.publish" in hits[0].message
+        # the sink's own clock (Writer.stamp) is sanctioned
+        assert not any("Writer" in v.message for v in hits)
+
+    def test_clock_confined_to_the_sink_is_clean(self, tmp_path):
+        files = dict(LIVE_CLOCK_TREE)
+        files["repro/obs/live.py"] = files["repro/obs/live.py"].replace(
+            'record = {"wall": time.time()}', 'record = {"wall": 0.0}')
+        root = write_tree(tmp_path, files)
+        findings = rpr6(analyze_project(root / "repro", package="repro"))
+        assert not any(v.rule_id == "RPR607" for v in findings)
+
+    def test_monotonic_clocks_never_fire(self, tmp_path):
+        files = dict(LIVE_CLOCK_TREE)
+        files["repro/obs/live.py"] = files["repro/obs/live.py"].replace(
+            'record = {"wall": time.time()}',
+            'record = {"wall": time.perf_counter()}')
+        root = write_tree(tmp_path, files)
+        findings = rpr6(analyze_project(root / "repro", package="repro"))
+        assert not any(v.rule_id == "RPR607" for v in findings)
+
+    def test_noqa_suppresses_at_the_origin(self, tmp_path):
+        files = dict(LIVE_CLOCK_TREE)
+        files["repro/obs/live.py"] = files["repro/obs/live.py"].replace(
+            'record = {"wall": time.time()}',
+            'record = {"wall": time.time()}'
+            "  # repro: noqa[live-clock-confinement]")
+        root = write_tree(tmp_path, files)
+        findings = rpr6(analyze_project(root / "repro", package="repro"))
+        assert not any(v.rule_id == "RPR607" for v in findings)
+
+    def test_silent_outside_live_modules(self, tmp_path):
+        files = {
+            "repro/__init__.py": "",
+            "repro/obs/__init__.py": "",
+            # same shape, different module name: not a live module
+            "repro/obs/view.py": dict(LIVE_CLOCK_TREE)["repro/obs/live.py"],
+        }
+        root = write_tree(tmp_path, files)
+        findings = rpr6(analyze_project(root / "repro", package="repro"))
+        assert not any(v.rule_id == "RPR607" for v in findings)
+
+
 # -- real-tree acceptance properties -------------------------------------------
 
 class TestRealTree:
@@ -665,6 +741,30 @@ class TestRealTree:
             ambient = [e for e in model.effects_of(root)
                        if e.kind == KIND_RNG and e.detail in AMBIENT_RNG_DETAILS]
             assert ambient == [], root
+
+    def test_live_clock_confinement_is_not_vacuous(self, model_and_project):
+        """The RPR607 proof quantifies over something real.
+
+        The committed live module *does* read the wall clock (inside a
+        sink, where it is sanctioned) and *does* define plenty of
+        non-sink functions — yet the rule reports nothing, because the
+        read never escapes the sink classes.
+        """
+        from repro.check.taint import _live_modules, _sink_classes
+
+        model, project = model_and_project
+        assert _live_modules(project) == ["repro.obs.live"]
+        sinks = _sink_classes(project, "repro.obs.live")
+        assert {"ProgressSink", "SnapshotWriter", "LiveServer"} <= sinks
+        assert "LiveBus" not in sinks
+        # the subject of the rule exists: a sink really reads time.time
+        stamp = details(model, "repro.obs.live.SnapshotWriter.__init__")
+        assert (KIND_CLOCK, "time.time") in stamp
+        # and the quantifier is non-empty: non-sink live functions exist
+        non_sinks = [q for q, fi in model.index.items()
+                     if fi.module.name == "repro.obs.live"
+                     and fi.cls not in sinks]
+        assert len(non_sinks) >= 5
 
     def test_known_rng_attributes_are_discovered(self, model_and_project):
         model, _ = model_and_project

@@ -305,6 +305,79 @@ class TestReportAndTrace:
         assert "Training telemetry" in report.read_text()
 
 
+class TestLiveCLI:
+    """``--live`` / ``--live-record`` and ``repro live summarize``."""
+
+    def _trace(self, tmp_path, capsys, n=80):
+        trace = tmp_path / "trace.swf"
+        main(["generate", "theta", str(n), "--nodes", "32",
+              "--out", str(trace)])
+        capsys.readouterr()
+        return trace
+
+    def test_live_record_shard_then_summarize(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        shard = tmp_path / "run.jsonl"
+        rc = main(["simulate", str(trace), "--nodes", "32",
+                   "--policy", "fcfs", "--live-record", str(shard)])
+        assert rc == 0
+        capsys.readouterr()
+        import json as _json
+
+        lines = shard.read_text().splitlines()
+        assert _json.loads(lines[0])["type"] == "meta"
+        assert _json.loads(lines[-1])["final"] is True
+
+        rc = main(["live", "summarize", str(shard)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "live rollup" in out and "[sim]" in out
+
+    def test_live_progress_line_on_stderr(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        rc = main(["simulate", str(trace), "--nodes", "32",
+                   "--policy", "fcfs", "--live"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[sim]" in err and "done" in err
+
+    def test_live_summarize_json_and_out(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, capsys)
+        shard = tmp_path / "run.jsonl"
+        main(["simulate", str(trace), "--nodes", "32",
+              "--live-record", str(shard)])
+        capsys.readouterr()
+        rc = main(["live", "summarize", str(shard), "--json"])
+        assert rc == 0
+        import json as _json
+
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.live-rollup/v1"
+        out = tmp_path / "rollup.json"
+        rc = main(["live", "summarize", str(shard), "--out", str(out)])
+        assert rc == 0
+        assert _json.loads(out.read_text())["kinds"]["sim"]["snapshots"] >= 1
+
+    def test_live_summarize_missing_shard_exits_2(self, tmp_path, capsys):
+        rc = main(["live", "summarize", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+
+    def test_manifest_digest_identical_live_vs_dark(self, tmp_path, capsys):
+        """Watching a run must not change what the run computed."""
+        from repro.obs.manifest import RunManifest
+
+        trace = self._trace(tmp_path, capsys)
+        dark, live = tmp_path / "dark.json", tmp_path / "live.json"
+        assert main(["simulate", str(trace), "--nodes", "32",
+                     "--manifest", str(dark)]) == 0
+        assert main(["simulate", str(trace), "--nodes", "32",
+                     "--manifest", str(live),
+                     "--live-record", str(tmp_path / "s.jsonl")]) == 0
+        capsys.readouterr()
+        assert RunManifest.read(dark).stable_digest() == \
+            RunManifest.read(live).stable_digest()
+
+
 class TestEffectsReportCLI:
     """``repro check --effects-report``: the effect-signature artifact."""
 

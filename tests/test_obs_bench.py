@@ -52,6 +52,7 @@ class TestQuickBench:
         assert names == [
             "engine-throughput",
             "engine-throughput-traced",
+            "engine-throughput-live",
             "engine-throughput-faulted",
             "backfill-plan",
             "conservative-profile",

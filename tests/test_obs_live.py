@@ -1,0 +1,386 @@
+"""Live telemetry bus: stamping, sinks, derived rates, HTTP exposition."""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs import live as live_mod
+from repro.obs.live import (
+    LIVE_SCHEMA,
+    LiveBus,
+    LiveServer,
+    ProgressSink,
+    SnapshotWriter,
+    global_live_bus,
+    live_from_spec,
+    set_global_live_bus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import lint_prometheus
+from repro.schedulers.fcfs import FCFSEasy
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine, run_simulation
+from repro.workload.models import ThetaModel
+
+
+def _jobs(n=120, nodes=32, seed=0):
+    model = ThetaModel.scaled(nodes)
+    return model.generate(n, np.random.default_rng(seed))
+
+
+class Collector:
+    """A sink that records every snapshot it is handed."""
+
+    def __init__(self):
+        self.records = []
+        self.closed = False
+
+    def on_snapshot(self, record):
+        self.records.append(record)
+
+    def close(self):
+        self.closed = True
+
+
+class TestLiveBus:
+    def test_publish_stamps_schema_seq_and_wall(self):
+        bus = LiveBus()
+        r1 = bus.publish("sim", {"done": 1})
+        r2 = bus.publish("sim", {"done": 2})
+        r3 = bus.publish("train", {"episode": 0})
+        assert r1["schema"] == LIVE_SCHEMA and r1["kind"] == "sim"
+        assert (r1["seq"], r2["seq"]) == (1, 2)   # per-kind, from 1
+        assert r3["seq"] == 1                      # independent counter
+        assert r1["wall"] <= r2["wall"]
+
+    def test_snapshots_returns_latest_per_kind(self):
+        bus = LiveBus()
+        bus.publish("sim", {"done": 1})
+        last = bus.publish("sim", {"done": 2})
+        assert bus.snapshots() == {"sim": last}
+
+    def test_derived_rate_progress_and_eta(self):
+        bus = LiveBus()
+        r1 = bus.publish("sim", {"done": 10, "total": 100, "events": 1000})
+        r2 = bus.publish("sim", {"done": 30, "total": 100, "events": 5000})
+        elapsed = r2["wall"] - r1["wall"]
+        assert elapsed > 0
+        d = bus.derived()
+        assert d["live_sim_progress"] == pytest.approx(0.3)
+        rate = d["live_sim_rate"]
+        assert rate == pytest.approx(20 / elapsed)
+        assert d["live_sim_events_per_s"] == pytest.approx(4000 / elapsed)
+        assert d["live_sim_eta_s"] == pytest.approx(70 / rate)
+
+    def test_derived_needs_two_snapshots_for_a_rate(self):
+        bus = LiveBus()
+        bus.publish("sim", {"done": 5, "total": 10})
+        d = bus.derived()
+        assert d["live_sim_progress"] == pytest.approx(0.5)
+        assert "live_sim_rate" not in d and "live_sim_eta_s" not in d
+
+    def test_broken_sink_is_detached_not_fatal(self):
+        class Exploding:
+            calls = 0
+
+            def on_snapshot(self, record):
+                type(self).calls += 1
+                raise RuntimeError("boom")
+
+        bus = LiveBus()
+        good = bus.attach(Collector())
+        bus.attach(Exploding())
+        bus.publish("sim", {"done": 1})
+        bus.publish("sim", {"done": 2})
+        assert Exploding.calls == 1          # dropped after the first raise
+        assert len(good.records) == 2        # the healthy sink kept both
+
+    def test_close_closes_sinks_and_detaches(self):
+        class Unclosable:
+            def on_snapshot(self, record):
+                pass
+
+            def close(self):
+                raise OSError("already gone")
+
+        bus = LiveBus()
+        sink = bus.attach(Collector())
+        bus.attach(Unclosable())
+        bus.close()                          # must not raise
+        assert sink.closed
+        bus.publish("sim", {"done": 1})
+        assert sink.records == []            # detached by close()
+
+    def test_registries_exposed_by_tag(self):
+        bus = LiveBus()
+        reg = MetricsRegistry()
+        bus.register_metrics("engine", reg)
+        assert bus.registries() == {"engine": reg}
+
+
+class TestProgressSink:
+    def _record(self, **fields):
+        record = {"schema": LIVE_SCHEMA, "kind": "sim", "seq": 1, "wall": 0.0}
+        record.update(fields)
+        return record
+
+    def test_format_line_fields_progress_and_eta(self):
+        sink = ProgressSink(io.StringIO())
+        sink.on_snapshot(self._record(t=100.0, events=500, queue_depth=3,
+                                      done=20, total=80))
+        line = sink.format_line(self._record(seq=2, wall=10.0, t=900.0,
+                                             events=4500, queue_depth=7,
+                                             done=40, total=80))
+        assert line.startswith("[sim] t=900.0s ev=4500 q=7")
+        assert "done 40/80 (50%)" in line
+        # 20 done in 10s -> 2/s -> 40 remaining / 2 = 20s
+        assert line.endswith("ETA 20s")
+
+    def test_non_tty_renders_one_line_per_snapshot(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream, min_interval_s=0.0)
+        sink.on_snapshot(self._record(done=1, total=2))
+        sink.on_snapshot(self._record(seq=2, done=2, total=2))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2 and all(l.startswith("[sim]") for l in lines)
+
+    def test_rate_limit_drops_interior_but_never_final(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream, min_interval_s=3600.0)
+        sink.on_snapshot(self._record(done=1, total=3))
+        sink.on_snapshot(self._record(seq=2, done=2, total=3))   # limited
+        sink.on_snapshot(self._record(seq=3, done=3, total=3, final=True))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "done 3/3" in lines[-1]
+
+    def test_closed_stream_does_not_abort_the_run(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream, min_interval_s=0.0)
+        stream.close()
+        sink.on_snapshot(self._record(done=1, total=2))   # must not raise
+        sink.close()
+
+
+class TestSnapshotWriter:
+    def test_shard_has_meta_header_then_sorted_snapshots(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        writer = SnapshotWriter(path, source="w0")
+        bus = LiveBus()
+        bus.attach(writer)
+        bus.publish("sim", {"done": 1, "total": 2})
+        bus.close()
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta" and meta["schema"] == LIVE_SCHEMA
+        assert meta["source"] == "w0" and "unix" in meta
+        row = json.loads(lines[1])
+        assert row["type"] == "snapshot" and row["source"] == "w0"
+        assert row["kind"] == "sim" and row["done"] == 1
+        # sorted keys -> byte-stable shards
+        assert lines[1] == json.dumps(row, sort_keys=True)
+
+    def test_default_source_names_the_pid(self, tmp_path):
+        import os
+
+        writer = SnapshotWriter(tmp_path / "s.jsonl")
+        assert writer.source == f"pid{os.getpid()}"
+        writer.close()
+
+    def test_close_is_idempotent_and_stops_writes(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        writer = SnapshotWriter(path, source="w")
+        writer.close()
+        writer.close()
+        writer.on_snapshot({"kind": "sim"})   # silently dropped
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestLiveServer:
+    @pytest.fixture()
+    def served(self):
+        bus = LiveBus()
+        reg = MetricsRegistry()
+        reg.counter("engine.events").inc(7)
+        reg.timer("engine.schedule_s").observe(0.01)
+        bus.register_metrics("engine", reg)
+        bus.publish("sim", {"done": 10, "total": 40, "events": 100})
+        bus.publish("sim", {"done": 20, "total": 40, "events": 200})
+        server = LiveServer(bus, port=0).start()
+        yield bus, server
+        server.close()
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}{path}", timeout=5) as resp:
+            return resp.status, resp.headers, resp.read().decode("utf-8")
+
+    def test_metrics_page_is_valid_prometheus(self, served):
+        _, server = served
+        status, headers, body = self._get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert lint_prometheus(body) == []
+        assert "repro_engine_engine_events 7" in body
+        assert "repro_live_sim_progress 0.5" in body
+
+    def test_status_reports_snapshots_derived_and_metrics(self, served):
+        bus, server = served
+        status, headers, body = self._get(server, "/status")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        doc = json.loads(body)
+        assert doc["schema"] == LIVE_SCHEMA
+        assert doc["snapshots"]["sim"]["done"] == 20
+        assert doc["derived"]["live_sim_progress"] == pytest.approx(0.5)
+        assert doc["metrics"]["engine"]["engine.events"] == 7
+
+    def test_unknown_path_is_404(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(server, "/nope")
+        assert err.value.code == 404
+
+    def test_close_releases_the_socket(self, served):
+        _, server = served
+        port = server.port
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=1)
+
+
+class TestLiveFromSpec:
+    @pytest.mark.parametrize("spec", ["", "0", "off", "  off  "])
+    def test_disabled_specs(self, spec):
+        assert live_from_spec(spec) is None
+
+    @pytest.mark.parametrize("spec", ["1", "progress"])
+    def test_progress_specs(self, spec):
+        bus = live_from_spec(spec, stream=io.StringIO())
+        assert isinstance(bus._sinks[0], ProgressSink)
+        assert bus.server is None
+        bus.close()
+
+    def test_port_spec_starts_a_server(self):
+        bus = live_from_spec("0", stream=io.StringIO())
+        assert bus is None
+        bus = live_from_spec(str(_free_port()), stream=io.StringIO())
+        try:
+            assert bus.server is not None
+            kinds = {type(s) for s in bus._sinks}
+            assert ProgressSink in kinds and LiveServer in kinds
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{bus.server.port}/status",
+                    timeout=5) as resp:
+                assert resp.status == 200
+        finally:
+            bus.close()
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError, match="invalid live port"):
+            live_from_spec("70000")
+
+    def test_path_spec_attaches_a_snapshot_writer(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        bus = live_from_spec(str(path), source="w3")
+        assert isinstance(bus._sinks[0], SnapshotWriter)
+        bus.publish("sim", {"done": 1})
+        bus.close()
+        assert json.loads(path.read_text().splitlines()[0])["source"] == "w3"
+
+
+class TestGlobalBus:
+    @pytest.fixture()
+    def fresh_global(self, monkeypatch):
+        monkeypatch.setattr(live_mod, "_GLOBAL", None)
+        monkeypatch.setattr(live_mod, "_GLOBAL_LOADED", False)
+        yield monkeypatch
+
+    def test_unset_env_means_no_bus(self, fresh_global):
+        fresh_global.delenv("REPRO_LIVE", raising=False)
+        assert global_live_bus() is None
+
+    def test_env_spec_builds_and_caches_the_bus(self, fresh_global):
+        fresh_global.setenv("REPRO_LIVE", "progress")
+        bus = global_live_bus()
+        assert isinstance(bus._sinks[0], ProgressSink)
+        assert global_live_bus() is bus      # cached, env not re-read
+        bus.close()
+
+    def test_set_global_returns_previous_and_blocks_env(self, fresh_global):
+        fresh_global.setenv("REPRO_LIVE", "progress")
+        mine = LiveBus()
+        assert set_global_live_bus(mine) is None
+        assert global_live_bus() is mine
+        assert set_global_live_bus(None) is mine
+        assert global_live_bus() is None     # env is NOT re-read
+
+
+def _free_port():
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestEngineIntegration:
+    def test_engine_publishes_on_event_cadence(self):
+        bus = LiveBus()
+        sink = bus.attach(Collector())
+        run_simulation(32, FCFSEasy(), _jobs(), live=bus, live_every=100)
+        assert len(sink.records) >= 2
+        assert all(r["kind"] == "sim" for r in sink.records)
+        seqs = [r["seq"] for r in sink.records]
+        assert seqs == list(range(1, len(seqs) + 1))
+        final = sink.records[-1]
+        assert final.get("final") is True
+        assert final["done"] == final["total"] == 120
+        assert {"t", "events", "queue_depth", "running",
+                "utilization"} <= set(final)
+        assert "engine" in bus.registries()
+
+    def test_live_run_is_bit_identical_to_dark(self):
+        jobs = _jobs()
+        dark = run_simulation(32, FCFSEasy(), [j.copy_fresh() for j in jobs])
+        bus = LiveBus()
+        bus.attach(Collector())
+        watched = run_simulation(32, FCFSEasy(),
+                                 [j.copy_fresh() for j in jobs],
+                                 live=bus, live_every=50)
+        for a, b in zip(dark.jobs, watched.jobs):
+            assert (a.start_time, a.end_time, a.mode) == (
+                b.start_time, b.end_time, b.mode)
+        assert dark.makespan == watched.makespan
+        assert dark.num_instances == watched.num_instances
+
+    def test_live_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="live_every"):
+            Engine(Cluster(8), FCFSEasy(), _jobs(8, 8), live_every=0)
+
+
+class TestTrainerIntegration:
+    def test_train_publishes_one_snapshot_per_episode(self):
+        from repro.core.config import DRASConfig
+        from repro.core.dras_pg import DRASPG
+        from repro.rl.trainer import Trainer
+        from tests.conftest import make_job
+
+        config = DRASConfig(num_nodes=16, window=4, hidden1=16, hidden2=8,
+                            seed=0, objective="capability", time_scale=1000.0)
+        jobs = [make_job(size=4, walltime=50.0, submit=float(i * 10))
+                for i in range(8)]
+        bus = LiveBus()
+        sink = bus.attach(Collector())
+        trainer = Trainer(DRASPG(config), 16, live=bus)
+        trainer.train([("phase", jobs), ("phase", jobs)])
+        assert [r["kind"] for r in sink.records] == ["train", "train"]
+        assert [r["episode"] for r in sink.records] == [0, 1]
+        assert sink.records[0]["done"] == 1 and sink.records[0]["total"] == 2
+        assert sink.records[-1].get("final") is True
+        assert "trainer" in bus.registries()

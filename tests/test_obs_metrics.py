@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.metrics import (
+    TIMER_HIST_EDGES,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+)
 from repro.schedulers.fcfs import FCFSEasy
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Engine
@@ -41,6 +47,75 @@ class TestInstruments:
     def test_timer_alpha_validated(self):
         with pytest.raises(ValueError):
             Timer(ema_alpha=0.0)
+
+
+class TestTimerHistogram:
+    def test_bins_cover_underflow_interior_and_overflow(self):
+        t = Timer()
+        t.observe(0.0)        # underflow (<= 1 microsecond)
+        t.observe(1e-7)       # underflow
+        t.observe(0.01)       # interior
+        t.observe(1e5)        # overflow (> 100 s)
+        assert t.bins[0] == 2 and t.bins[-1] == 1
+        assert sum(t.bins) == t.count == 4
+
+    def test_interior_sample_lands_between_its_edges(self):
+        t = Timer()
+        t.observe(0.01)
+        index = next(i for i, c in enumerate(t.bins) if c)
+        assert TIMER_HIST_EDGES[index - 1] <= 0.01 < TIMER_HIST_EDGES[index]
+
+    def test_quantiles_are_order_independent(self):
+        samples = [1e-5, 3e-4, 0.002, 0.002, 0.05, 1.0, 9.0, 80.0]
+        forward, backward = Timer(), Timer()
+        for s in samples:
+            forward.observe(s)
+        for s in reversed(samples):
+            backward.observe(s)
+        assert forward.bins == backward.bins
+        for q in (0.5, 0.9, 0.99):
+            assert forward.quantile(q) == backward.quantile(q)
+
+    def test_quantile_resolution_is_the_bin(self):
+        t = Timer()
+        for _ in range(100):
+            t.observe(0.01)
+        # every rank lands in the one occupied bin: its geometric
+        # midpoint, within the 4-bins-per-decade resolution of the value
+        assert t.p50 == t.p90 == t.p99
+        assert t.p50 == pytest.approx(0.01, rel=0.35)
+
+    def test_p99_separates_the_tail(self):
+        t = Timer()
+        for _ in range(99):
+            t.observe(0.001)
+        for _ in range(5):
+            t.observe(10.0)
+        assert t.p50 == pytest.approx(0.001, rel=0.35)
+        assert t.p99 == pytest.approx(10.0, rel=0.35)
+        assert t.p99 > 100 * t.p50
+
+    def test_empty_timer_quantile_is_zero(self):
+        assert Timer().quantile(0.5) == 0.0
+
+    def test_reset_clears_the_bins(self):
+        t = Timer()
+        t.observe(0.5)
+        t.reset()
+        assert sum(t.bins) == 0 and t.p99 == 0.0
+
+    def test_snapshot_exposes_quantiles_and_a_bin_copy(self):
+        reg = MetricsRegistry()
+        timer = reg.timer("t")
+        timer.observe(0.02)
+        snap = reg.snapshot()["t"]
+        assert snap["p50_s"] == timer.p50
+        assert snap["p90_s"] == timer.p90
+        assert snap["p99_s"] == timer.p99
+        assert snap["hist_counts"] == timer.bins
+        assert len(snap["hist_counts"]) == len(TIMER_HIST_EDGES) + 1
+        snap["hist_counts"][0] += 1            # a copy, not the live list
+        assert snap["hist_counts"] != timer.bins
 
 
 class TestRegistry:

@@ -1,0 +1,123 @@
+"""Prometheus text exposition: rendering, name sanitising, the linter."""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (
+    lint_prometheus,
+    render_prometheus,
+    render_registry,
+    sanitize_metric_name,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("engine.events_submit") == \
+            "engine_events_submit"
+
+    def test_leading_digit_gains_prefix(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_invalid_chars_replaced(self):
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+
+class TestRenderRegistry:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs.started").inc(3)
+        reg.gauge("queue.depth").set(17.0)
+        page = render_registry(reg, prefix="repro_engine")
+        assert "# TYPE repro_engine_jobs_started counter" in page
+        assert "repro_engine_jobs_started 3" in page
+        assert "# TYPE repro_engine_queue_depth gauge" in page
+        assert "repro_engine_queue_depth 17.0" in page
+
+    def test_timer_renders_as_summary_with_quantiles(self):
+        reg = MetricsRegistry()
+        timer = reg.timer("schedule_s")
+        for _ in range(10):
+            timer.observe(0.01)
+        page = render_registry(reg, prefix="repro")
+        assert "# TYPE repro_schedule_s summary" in page
+        for label in ("0.5", "0.9", "0.99"):
+            assert f'repro_schedule_s{{quantile="{label}"}}' in page
+        assert "repro_schedule_s_count 10" in page
+        sum_line = next(l for l in page.splitlines()
+                        if l.startswith("repro_schedule_s_sum "))
+        assert float(sum_line.split()[1]) == timer.total
+
+    def test_empty_registry_renders_empty(self):
+        assert render_registry(MetricsRegistry()) == ""
+
+    def test_non_finite_values_spelled_prometheus_style(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("nan"))
+        page = render_registry(reg, prefix="p")
+        assert "p_g NaN" in page
+        reg.gauge("g").set(float("inf"))
+        assert "p_g +Inf" in render_registry(reg, prefix="p")
+        reg.gauge("g").set(float("-inf"))
+        assert "p_g -Inf" in render_registry(reg, prefix="p")
+
+
+class TestRenderPrometheus:
+    def _page(self):
+        engine, trainer = MetricsRegistry(), MetricsRegistry()
+        engine.counter("events").inc(5)
+        trainer.gauge("loss").set(0.25)
+        trainer.timer("episode_s").observe(1.5)
+        return render_prometheus({"engine": engine, "trainer": trainer},
+                                 extra={"live_sim_progress": 0.5,
+                                        "live_sim_eta_s": 12.0})
+
+    def test_tags_namespace_the_metrics(self):
+        page = self._page()
+        assert "repro_engine_events 5" in page
+        assert "repro_trainer_loss 0.25" in page
+        assert "repro_trainer_episode_s_count 1" in page
+
+    def test_extra_scalars_render_as_gauges(self):
+        page = self._page()
+        assert "# TYPE repro_live_sim_progress gauge" in page
+        assert "repro_live_sim_progress 0.5" in page
+        assert "repro_live_sim_eta_s 12.0" in page
+
+    def test_rendered_page_passes_the_linter(self):
+        assert lint_prometheus(self._page()) == []
+
+
+class TestLint:
+    def test_missing_trailing_newline(self):
+        assert "missing trailing newline" in \
+            lint_prometheus("# TYPE a counter\na 1")[0]
+
+    def test_sample_without_type_flagged(self):
+        problems = lint_prometheus("orphan 1\n")
+        assert any("no preceding # TYPE" in p for p in problems)
+
+    def test_sum_count_ride_on_the_family_type(self):
+        page = ('# TYPE s summary\ns{quantile="0.5"} 1.0\n'
+                "s_sum 2.0\ns_count 2\n")
+        assert lint_prometheus(page) == []
+
+    def test_duplicate_type_flagged(self):
+        problems = lint_prometheus("# TYPE a counter\n# TYPE a counter\na 1\n")
+        assert any("duplicate # TYPE" in p for p in problems)
+
+    def test_bad_value_and_bad_name_flagged(self):
+        problems = lint_prometheus("# TYPE a gauge\na one\n")
+        assert any("invalid value 'one'" in p for p in problems)
+        problems = lint_prometheus("# TYPE 3bad gauge\n")
+        assert any("invalid metric name" in p for p in problems)
+
+    def test_unknown_type_and_bad_labels_flagged(self):
+        problems = lint_prometheus("# TYPE a carrots\na 1\n")
+        assert any("unknown TYPE" in p for p in problems)
+        problems = lint_prometheus('# TYPE a gauge\na{bad-label="x"} 1\n')
+        assert any("unparseable sample" in p or "invalid label block" in p
+                   for p in problems)
+
+    def test_empty_page_is_valid(self):
+        assert lint_prometheus("") == []
