@@ -51,6 +51,7 @@ EXPECTED_RULE_IDS = frozenset({
     "RPR501", "RPR502", "RPR503", "RPR504", "RPR505", "RPR506", "RPR507",
     # RPR6xx determinism taint (effect inference)
     "RPR601", "RPR602", "RPR603", "RPR604", "RPR605", "RPR606", "RPR607",
+    "RPR608",
 })
 
 

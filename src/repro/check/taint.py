@@ -33,6 +33,13 @@ at check time instead of run time:
   classes (those implementing ``on_snapshot``).  The bus and every
   snapshot emitter stay clock-free, so no seed-determined path can
   reach the wall clock through a publish.
+* RPR608 ``pool-worker-hermetic`` — sweep-pool worker entry points
+  (``_worker_main`` / ``_execute_cell`` in ``*.experiments.pool``)
+  must consume only the derived per-cell seed: no ambient RNG, no
+  wall-clock read, no environment access anywhere they can reach.
+  This is the static half of the pool's byte-identical-rollup
+  contract — a worker whose behaviour depends on ambient state could
+  produce different cell payloads on retry or resume.
 
 Findings are pinned at the *origin* of the offending effect (the line
 to fix or suppress), with the reachable entry point named in the
@@ -43,6 +50,7 @@ the ``# repro: noqa[slug]`` mechanism and the ratchet baseline.
 from __future__ import annotations
 
 import ast
+from types import SimpleNamespace
 from typing import Iterable, Iterator
 
 from repro.check.effects import (
@@ -58,6 +66,7 @@ from repro.check.effects import (
     effects_for_project,
 )
 from repro.check.hotness import SCHEDULE_ANCHOR, _resolve_anchor
+from repro.check.lint import _Suppressions
 from repro.check.project import (
     ModuleInfo,
     ProjectFinding,
@@ -332,6 +341,94 @@ class LiveClockConfinementRule(ProjectRule):
                         "confined to sink classes (on_snapshot "
                         "implementors)",
                     )
+
+
+# -- RPR608: sweep-pool worker hermeticity -------------------------------------
+
+#: function names that are pool worker entry points wherever a
+#: ``*.experiments.pool`` module defines them — the code that runs
+#: inside sweep worker processes
+POOL_WORKER_ROOT_NAMES = frozenset({"_worker_main", "_execute_cell"})
+
+#: noqa slugs that sanction an effect at its origin line, per effect
+#: kind: a site individually justified under the base rule (e.g. an
+#: observability feature gate suppressed as ``ambient-env-read``) is
+#: equally justified when a sweep worker reaches it, so RPR608 does
+#: not demand a second suppression on the same line
+_SANCTIONED_BASE_SLUGS = {
+    KIND_RNG: ("ambient-rng-path",),
+    KIND_CLOCK: ("wall-clock", "sim-wall-clock", "live-clock-confinement"),
+    KIND_ENV: ("ambient-env-read",),
+}
+
+
+def _pool_modules(project: ProjectModel) -> list[str]:
+    """Sweep-pool modules: ``*.experiments.pool`` wherever the tree roots."""
+    return sorted(
+        name for name in project.modules
+        if name.split(".")[-2:] == ["experiments", "pool"]
+    )
+
+
+def _pool_worker_roots(model: EffectModel,
+                       project: ProjectModel) -> list[str]:
+    """Worker entry points defined by the project's pool modules."""
+    modules = set(_pool_modules(project))
+    return sorted(
+        qual for qual, fi in model.index.items()
+        if fi.module.name in modules
+        and qual.rsplit(".", 1)[-1] in POOL_WORKER_ROOT_NAMES
+    )
+
+
+@register_project
+class PoolWorkerHermeticRule(ProjectRule):
+    """Ambient state reachable from a sweep-pool worker entry point."""
+
+    id = "RPR608"
+    slug = "pool-worker-hermetic"
+    rationale = (
+        "Sweep workers must be pure functions of (spec, cell, derived "
+        "seed): any ambient RNG draw, wall-clock read or environment "
+        "access they can reach would let a cell's payload vary across "
+        "retries, workers or resumes, breaking the pool's byte-identical "
+        "rollup contract."
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[ProjectFinding]:
+        """Yield ambient-state effects reachable from worker entry points."""
+        model = effects_for_project(project)
+        roots = _pool_worker_roots(model, project)
+        if not roots:
+            return
+        tables = {info.path: _Suppressions(info.source)
+                  for info in project.modules.values()}
+        for root, effect in _reachable_effects(model, roots):
+            if effect.kind == KIND_RNG:
+                if effect.detail not in AMBIENT_RNG_DETAILS:
+                    continue
+                what = f"ambient randomness ({effect.detail})"
+            elif effect.kind in (KIND_CLOCK,):
+                if effect.detail not in WALL_CLOCK_DETAILS:
+                    continue
+                what = f"wall-clock read {effect.detail}"
+            elif effect.kind == KIND_ENV:
+                what = f"environment access ({effect.detail})"
+            else:
+                continue
+            table = tables.get(effect.path)
+            if table is not None and any(
+                table.suppressed(effect.line,
+                                 SimpleNamespace(slug=slug, id=slug))
+                for slug in _SANCTIONED_BASE_SLUGS[effect.kind]
+            ):
+                continue
+            yield ProjectFinding(
+                effect.path, effect.line, effect.col,
+                f"{what} in {effect.origin} is reachable from pool worker "
+                f"entry point {root}; sweep workers must consume only the "
+                "derived per-cell seed and no ambient state",
+            )
 
 
 # -- RPR604: fork/pickle-safety ------------------------------------------------

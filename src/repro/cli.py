@@ -677,6 +677,109 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_params(pairs: "list[str] | None") -> dict:
+    """``--param KEY=VALUE`` pairs → a sweep params dict.
+
+    Values parse as JSON when they can (``--param mtbf_grid=[0,2000]``,
+    ``--param cells=6``) and fall back to plain strings
+    (``--param faults=mtbf=2000,mttr=600``).
+    """
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--param wants KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    return params
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """The ``repro sweep`` driver: fault-tolerant parallel sweeps."""
+    from repro.experiments import pool
+
+    try:
+        params = _parse_sweep_params(args.param)
+        if args.faults:
+            if args.kind != "faultsweep":
+                print("--faults applies only to faultsweep sweeps",
+                      file=sys.stderr)
+                return 2
+            params["faults"] = args.faults
+        spec = pool.SweepSpec(
+            kind=args.kind,
+            scale=args.scale,
+            seed=args.seed,
+            params=params,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            backoff_s=args.backoff,
+        )
+    except (pool.SweepError, ValueError) as exc:
+        print(f"bad sweep spec: {exc}", file=sys.stderr)
+        return 2
+
+    live = _make_live_bus(args)
+    if live is not None:
+        from repro.obs.live import set_global_live_bus
+
+        set_global_live_bus(live)
+    try:
+        result = pool.run_sweep(
+            spec,
+            args.store,
+            workers=args.workers,
+            resume=args.resume,
+            live=live,
+        )
+    except pool.SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if live is not None:
+            from repro.obs.live import set_global_live_bus
+
+            set_global_live_bus(None)
+            live.close()
+
+    text = _render_sweep_report(args.kind, spec, result)
+    if text:
+        if args.out:
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(text)
+    print(f"sweep: {result.completed}/{result.total} cells complete "
+          f"({result.resumed} resumed, {len(result.quarantined)} "
+          f"quarantined this run)", file=sys.stderr)
+    print(f"sweep: rollup {result.rollup_path} "
+          f"digest {result.digest}", file=sys.stderr)
+    for key, reason in sorted(result.quarantined.items()):
+        print(f"sweep: quarantined {key}: {reason}", file=sys.stderr)
+    return 0 if result.completed == result.total else 3
+
+
+def _render_sweep_report(kind: str, spec, result) -> str:
+    """Render a completed sweep's rollup with the kind's reporter."""
+    from repro.experiments import pool
+
+    if kind == "faultsweep":
+        from repro.experiments import faultsweep
+
+        return faultsweep.report(faultsweep.result_from_rollup(result.rollup))
+    if kind == "experiments":
+        from repro.experiments.runner import (
+            combined_report,
+            reports_from_rollup,
+        )
+
+        reports, failures = reports_from_rollup(result.rollup)
+        expected = [cell["exp"] for cell in pool.expand_cells(spec)]
+        return combined_report(reports, spec.scale,
+                               expected=expected, failures=failures)
+    return ""
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """The ``repro trace`` driver (currently: ``summarize``)."""
     from repro.obs.analyze import format_trace_summary, summarize_trace
@@ -749,6 +852,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a self-contained HTML run report")
     _add_live_args(p)
     p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an experiment grid on worker processes (crash-safe)")
+    p.add_argument("kind", choices=("faultsweep", "experiments", "selftest"),
+                   help="which grid to expand")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="crash-durable result store (per-worker JSONL "
+                        "shards + merged rollup.json)")
+    p.add_argument("--scale", default="default",
+                   help="tiny | default | paper (default: default)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed; per-cell seeds derive from it")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="worker processes (default 0: run every cell "
+                        "inline in this process)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted sweep: skip cells the "
+                        "store already holds, retry quarantined ones")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                   help="per-cell wall-clock budget; a cell attempt "
+                        "running longer is killed and retried "
+                        "(default 0: no parent-side timeout)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retry budget per cell before quarantine "
+                        "(default 2)")
+    p.add_argument("--backoff", type=float, default=0.25, metavar="S",
+                   help="base of the capped exponential backoff between "
+                        "attempts (default 0.25)")
+    p.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   help="kind-specific knob (JSON value or string); "
+                        "repeatable, e.g. --param 'mtbf_grid=[0,2000]'")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="fault-process override for faultsweep sweeps, "
+                        "e.g. mtbf=5000,mttr=1800,seed=1")
+    p.add_argument("--out", help="also write the rendered report here")
+    _add_live_args(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("generate", help="synthesize an SWF trace")
     p.add_argument("system", choices=("theta", "cori"))

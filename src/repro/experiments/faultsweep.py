@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.analysis.tables import format_table
 from repro.experiments.common import system_setup
@@ -29,11 +30,28 @@ from repro.sim.engine import run_simulation
 from repro.sim.faults import FaultConfig, ResilienceMetrics
 from repro.sim.metrics import RunMetrics
 
+if TYPE_CHECKING:
+    from repro.experiments.pool import SweepSpec
+
 #: node MTBF grid, seconds; 0 is the fault-free baseline column
 MTBF_GRID: tuple[float, ...] = (0.0, 20_000.0, 5_000.0, 2_000.0)
 
 #: base fault process; the sweep overrides ``mtbf`` cell by cell
 BASE_FAULTS = FaultConfig(mttr=1_800.0, seed=0, requeue="requeue-front")
+
+#: default per-cell engine wall-clock budget, seconds — a pathological
+#: grid point trips the engine's runaway guard instead of hanging a
+#: sweep worker forever (0 disables the guard)
+CELL_MAX_WALL_S = 600.0
+
+#: scheduler factories by column name (dict literal so the effect
+#: analysis can resolve pool-worker dispatch through it)
+POLICY_FACTORIES: dict[str, Any] = {
+    "FCFS": FCFSEasy,
+    "BinPacking": BinPacking,
+    "SJF": sjf,
+    "Conservative": ConservativeBackfill,
+}
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,7 @@ def run(
     seed: int = 0,
     faults: FaultConfig | None = None,
     live: "_live.LiveBus | None" = None,
+    max_wall_s: float = CELL_MAX_WALL_S,
 ) -> FaultSweepResult:
     """Sweep every policy across the MTBF grid on one Theta trace.
 
@@ -73,7 +92,9 @@ def run(
     per cell so the sweep shape is preserved.  ``live`` (explicit, else
     the ``REPRO_LIVE`` process-global bus) receives one ``kind="sweep"``
     snapshot per completed (policy, MTBF) cell — progress, ETA and the
-    cell's headline numbers, while the sweep is still running.
+    cell's headline numbers, while the sweep is still running.  Every
+    cell runs under a finite engine wall-clock budget (``max_wall_s``,
+    0 to disable) so one pathological grid point cannot hang the sweep.
     """
     base = faults if faults is not None else BASE_FAULTS
     base = dataclasses.replace(base, seed=base.seed + seed)
@@ -92,6 +113,7 @@ def run(
                 policy,
                 [j.copy_fresh() for j in trace],
                 faults=cfg if cfg.active else None,
+                max_wall_s=max_wall_s if max_wall_s > 0 else None,
             )
             cell = FaultCell(
                 policy=policy.name,
@@ -157,3 +179,109 @@ def report(result: FaultSweepResult) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+# -- parallel-sweep integration (repro.experiments.pool) -----------------------
+
+def sweep_cells(spec: "SweepSpec") -> list[dict[str, Any]]:
+    """Expand a faultsweep :class:`~repro.experiments.pool.SweepSpec`.
+
+    ``spec.params`` knobs: ``policies`` (subset of
+    :data:`POLICY_FACTORIES` names), ``mtbf_grid`` (replaces
+    :data:`MTBF_GRID`), ``faults`` (a ``FaultConfig`` spec string),
+    ``max_wall_s`` (per-cell engine budget, default
+    :data:`CELL_MAX_WALL_S`).
+    """
+    policies = list(spec.params.get("policies", POLICY_FACTORIES))
+    unknown = [p for p in policies if p not in POLICY_FACTORIES]
+    if unknown:
+        raise ValueError(
+            f"unknown faultsweep policies {unknown}; "
+            f"available: {', '.join(POLICY_FACTORIES)}")
+    grid = [float(m) for m in spec.params.get("mtbf_grid", MTBF_GRID)]
+    return [{"policy": policy, "mtbf": mtbf}
+            for policy in policies for mtbf in grid]
+
+
+def run_sweep_cell(spec: "SweepSpec", cell: Mapping[str, Any],
+                   derived_seed: int, attempt: int) -> dict[str, Any]:
+    """Run one (policy, MTBF) cell for the pool orchestrator.
+
+    The fault process is seeded from the *sweep*-level seed, not the
+    per-cell ``derived_seed``: every policy column must replay the
+    identical failure schedule so the comparison isolates the
+    scheduler's reaction (the serial :func:`run` has the same design).
+    ``derived_seed`` still reaches the cell manifest, keeping cell
+    identity deterministic either way.
+    """
+    del derived_seed, attempt  # deterministic cell; see docstring
+    params = spec.params
+    faults_spec = params.get("faults")
+    base = (FaultConfig.from_spec(faults_spec) if faults_spec
+            else BASE_FAULTS)
+    base = dataclasses.replace(base, seed=base.seed + spec.seed)
+    max_wall_s = float(params.get("max_wall_s", CELL_MAX_WALL_S))
+    setup = system_setup("theta", spec.scale, spec.seed)
+    trace = setup.validation_trace
+    policy = POLICY_FACTORIES[cell["policy"]]()
+    cfg = dataclasses.replace(base, mtbf=float(cell["mtbf"]))
+    result = run_simulation(
+        setup.model.num_nodes,
+        policy,
+        [j.copy_fresh() for j in trace],
+        faults=cfg if cfg.active else None,
+        max_wall_s=max_wall_s if max_wall_s > 0 else None,
+    )
+    metrics = RunMetrics.from_result(result)
+    resilience = result.resilience
+    return {
+        "policy": policy.name,
+        "mtbf": float(cell["mtbf"]),
+        "system": "theta",
+        "num_nodes": setup.model.num_nodes,
+        "num_jobs": len(trace),
+        "max_wall_s": max_wall_s,
+        "metrics": metrics.as_dict(),
+        "resilience": resilience.as_dict() if resilience else None,
+    }
+
+
+def result_from_rollup(rollup: Mapping[str, Any]) -> FaultSweepResult:
+    """Rebuild a :class:`FaultSweepResult` from a merged pool rollup.
+
+    Cells come back in the canonical policy-major sweep order (the
+    rollup stores them sorted by key), so :func:`report` renders the
+    same tables a serial run would.  Quarantined cells are simply
+    absent — :func:`report` groups by policy, so a policy with no
+    surviving cells drops out of the report.
+    """
+    from repro.experiments.pool import cell_key
+
+    records = {r["key"]: r for r in rollup.get("cells", ())}
+    ordered = []
+    sweep = rollup.get("sweep") or {}
+    params = sweep.get("params") or {}
+    policies = list(params.get("policies", POLICY_FACTORIES))
+    grid = [float(m) for m in params.get("mtbf_grid", MTBF_GRID)]
+    system = "theta"
+    num_nodes = 0
+    num_jobs = 0
+    for policy in policies:
+        for mtbf in grid:
+            record = records.get(cell_key({"policy": policy, "mtbf": mtbf}))
+            if record is None:
+                continue
+            summary = record["summary"]
+            system = summary.get("system", system)
+            num_nodes = summary.get("num_nodes", num_nodes)
+            num_jobs = summary.get("num_jobs", num_jobs)
+            resilience = summary.get("resilience")
+            ordered.append(FaultCell(
+                policy=summary["policy"],
+                mtbf=summary["mtbf"],
+                metrics=RunMetrics.from_dict(summary["metrics"]),
+                resilience=(ResilienceMetrics.from_dict(resilience)
+                            if resilience else None),
+            ))
+    return FaultSweepResult(system=system, num_nodes=num_nodes,
+                            num_jobs=num_jobs, cells=tuple(ordered))

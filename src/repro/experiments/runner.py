@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+if TYPE_CHECKING:
+    from repro.experiments.pool import SweepSpec
 
 from repro.experiments import (
     faultsweep,
@@ -62,6 +65,26 @@ SPECS: tuple[ExperimentSpec, ...] = (
 )
 
 
+def run_one(
+    exp_id: str,
+    scale: str = "default",
+    seed: int = 0,
+    full_size_overhead: bool = True,
+) -> str:
+    """Run a single experiment by id and return its rendered report."""
+    by_id = {s.exp_id: s for s in SPECS}
+    if exp_id not in by_id:
+        raise ValueError(f"unknown experiment id: {exp_id!r}")
+    spec = by_id[exp_id]
+    if spec.needs_scale:
+        result = spec.run(scale, seed=seed)
+    elif exp_id == "overhead":
+        result = spec.run(full_size=full_size_overhead)
+    else:
+        result = spec.run()
+    return spec.report(result)
+
+
 def run_all(
     scale: str = "default",
     seed: int = 0,
@@ -88,15 +111,10 @@ def run_all(
         selected = {k: v for k, v in selected.items() if k in only}
     reports: dict[str, str] = {}
     durations: dict[str, float] = {}
-    for exp_id, spec in selected.items():
+    for exp_id in selected:
         start = time.perf_counter()
-        if spec.needs_scale:
-            result = spec.run(scale, seed=seed)
-        elif exp_id == "overhead":
-            result = spec.run(full_size=full_size_overhead)
-        else:
-            result = spec.run()
-        reports[exp_id] = spec.report(result)
+        reports[exp_id] = run_one(exp_id, scale, seed=seed,
+                                  full_size_overhead=full_size_overhead)
         durations[exp_id] = round(time.perf_counter() - start, 3)
         if progress is not None:
             progress(f"{exp_id}: done in {durations[exp_id]:.1f} s")
@@ -116,13 +134,118 @@ def run_all(
     return reports
 
 
-def combined_report(reports: dict[str, str], scale: str) -> str:
-    """Assemble individual reports into one document."""
+def combined_report(
+    reports: dict[str, str],
+    scale: str,
+    expected: "tuple[str, ...] | list[str] | None" = None,
+    failures: "Mapping[str, str] | None" = None,
+) -> str:
+    """Assemble individual reports into one document.
+
+    Tolerates missing and failed cells: an experiment named in
+    ``expected`` (or in ``failures``) that has no report renders as a
+    ``QUARANTINED`` row carrying its failure reason — the combined
+    document always covers the full expected matrix instead of raising
+    (or silently shrinking) when a sweep completes with partial
+    results.
+    """
     header = (
         f"DRAS reproduction — full experiment sweep (scale: {scale})\n"
         + "=" * 64
     )
+    failures = dict(failures or {})
+    order = list(expected) if expected is not None else list(reports)
+    for exp_id in reports:
+        if exp_id not in order:
+            order.append(exp_id)
+    for exp_id in failures:
+        if exp_id not in order:
+            order.append(exp_id)
     blocks = [header]
-    for exp_id, text in reports.items():
-        blocks.append(f"\n{'-' * 64}\n[{exp_id}]\n{'-' * 64}\n{text}")
+    quarantined = 0
+    for exp_id in order:
+        if exp_id in reports:
+            blocks.append(
+                f"\n{'-' * 64}\n[{exp_id}]\n{'-' * 64}\n{reports[exp_id]}")
+        else:
+            reason = failures.get(exp_id, "no result recorded")
+            quarantined += 1
+            blocks.append(
+                f"\n{'-' * 64}\n[{exp_id}] QUARANTINED — {reason}\n"
+                f"{'-' * 64}\n(cell failed all attempts; "
+                "re-run with --resume to retry it)")
+    if quarantined:
+        blocks.append(
+            f"\n{'=' * 64}\n{quarantined} of {len(order)} experiment(s) "
+            "quarantined; the report above is partial.")
     return "\n".join(blocks)
+
+
+# -- parallel-sweep integration (repro.experiments.pool) -----------------------
+
+#: experiments excluded from parallel sweeps by default: the overhead
+#: study reports measured wall times, which would break the sweep's
+#: byte-identical-rollup contract (opt in with params={"only": [...]})
+NONDETERMINISTIC_EXPERIMENTS: tuple[str, ...] = ("overhead",)
+
+
+def sweep_cells(spec: "SweepSpec") -> list[dict[str, Any]]:
+    """Expand an experiments :class:`~repro.experiments.pool.SweepSpec`.
+
+    One cell per experiment id.  ``spec.params["only"]`` selects a
+    subset (and may opt nondeterministic experiments back in); the
+    default is every experiment except
+    :data:`NONDETERMINISTIC_EXPERIMENTS`.
+    """
+    only = spec.params.get("only")
+    if only is not None:
+        known = {s.exp_id for s in SPECS}
+        unknown = set(only) - known
+        if unknown:
+            raise ValueError(f"unknown experiment ids: {sorted(unknown)}")
+        ids = [s.exp_id for s in SPECS if s.exp_id in set(only)]
+    else:
+        ids = [s.exp_id for s in SPECS
+               if s.exp_id not in NONDETERMINISTIC_EXPERIMENTS]
+    return [{"exp": exp_id} for exp_id in ids]
+
+
+def run_sweep_cell(spec: "SweepSpec", cell: Mapping[str, Any],
+                   derived_seed: int, attempt: int) -> dict[str, Any]:
+    """Run one experiment cell for the pool orchestrator.
+
+    Experiments are seeded from the sweep-level seed (their identity is
+    the paper's figure/table matrix at one seed, matching the serial
+    ``reproduce all`` path), not the per-cell ``derived_seed``.
+    """
+    del derived_seed, attempt  # deterministic cell; see docstring
+    exp_id = str(cell["exp"])
+    report = run_one(
+        exp_id, spec.scale, seed=spec.seed,
+        full_size_overhead=bool(spec.params.get("full_size_overhead", True)),
+    )
+    return {"exp": exp_id, "report": report}
+
+
+def reports_from_rollup(
+    rollup: Mapping[str, Any],
+) -> "tuple[dict[str, str], dict[str, str]]":
+    """Split a merged pool rollup into (reports, failure reasons).
+
+    Feed both into :func:`combined_report` together with the expected
+    id list to render the full matrix with quarantined rows.
+    """
+    reports: dict[str, str] = {}
+    for record in rollup.get("cells", ()):
+        summary = record.get("summary") or {}
+        if "exp" in summary and "report" in summary:
+            reports[str(summary["exp"])] = str(summary["report"])
+    failures: dict[str, str] = {}
+    for record in rollup.get("quarantined", ()):
+        exp_id = (record.get("cell") or {}).get("exp")
+        if exp_id is not None:
+            failures[str(exp_id)] = str(
+                record.get("error_type", "unknown failure"))
+    order = [s.exp_id for s in SPECS]
+    reports = {k: reports[k] for k in order if k in reports}
+    return reports, failures

@@ -270,6 +270,33 @@ class ProgressSink:
             self._width = 0
 
 
+class ConnectionSink:
+    """Forwards snapshots over a :mod:`multiprocessing` connection.
+
+    The worker side of a multi-process sweep: a sweep worker's private
+    :class:`LiveBus` attaches one of these around its pipe to the pool
+    parent, which republishes each record on the parent bus (worker
+    kinds suffixed ``_w<slot>``) so one :class:`ProgressSink` ETA line
+    and one ``/status`` endpoint aggregate every worker of the sweep.
+    Delivery is best-effort — a dead parent must not break the cell
+    that is still running (the worker notices the broken pipe on its
+    next ``recv`` and exits).
+    """
+
+    #: tag of forwarded records on the wire (first tuple element)
+    TAG = "live"
+
+    def __init__(self, conn: Any) -> None:
+        self._conn = conn
+
+    def on_snapshot(self, record: Mapping[str, Any]) -> None:
+        """Ship one snapshot to the peer (best-effort)."""
+        try:
+            self._conn.send((self.TAG, dict(record)))
+        except (OSError, ValueError):
+            pass
+
+
 class SnapshotWriter:
     """Appends snapshots to a JSONL shard (``repro.live/v1``).
 

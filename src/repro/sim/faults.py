@@ -21,6 +21,7 @@ owns event scheduling and the kill/requeue mechanics.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -201,6 +202,20 @@ class ResilienceMetrics:
             "wasted_node_seconds": self.wasted_node_seconds,
             "degraded_utilization": self.degraded_utilization,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResilienceMetrics":
+        """Rebuild metrics from their :meth:`as_dict` form.
+
+        Round-trip partner of :meth:`as_dict`; sweep rollups persist
+        cells as JSON and reports rebuild them through here.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(
+                f"unknown ResilienceMetrics key(s): {sorted(unknown)}")
+        return cls(**{name: data[name] for name in fields})
 
 
 @dataclass(slots=True)

@@ -17,6 +17,7 @@ independent of job bookkeeping.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -103,6 +104,19 @@ class RunMetrics:
             "makespan": self.makespan,
             "total_core_hours": self.total_core_hours,
         }
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, float]") -> "RunMetrics":
+        """Rebuild metrics from their :meth:`as_dict` form.
+
+        Round-trip partner of :meth:`as_dict`; sweep rollups persist
+        cells as JSON and reports rebuild them through here.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown RunMetrics key(s): {sorted(unknown)}")
+        return cls(**{name: data[name] for name in fields})
 
 
 @dataclass(frozen=True)

@@ -706,6 +706,84 @@ class TestLiveClockConfinementRule:
         assert not any(v.rule_id == "RPR607" for v in findings)
 
 
+#: a sweep-pool module whose worker path reaches ambient state through
+#: a helper — the finding must pin the helper, not the entry point.
+#: ``{extra}`` is one statement injected into the helper's body.
+POOL_HERMETIC_MODULE = """
+    import os
+    import time
+
+    import numpy as np
+
+    def _execute_cell(spec, cell, derived_seed, attempt):
+        return run_cell(cell, derived_seed)
+
+    def _worker_main(conn):
+        while True:
+            _execute_cell(None, {{}}, 0, 1)
+
+    def run_cell(cell, derived_seed):
+        {extra}
+        rng = np.random.default_rng(derived_seed)
+        return {{"x": float(rng.random())}}
+"""
+
+
+class TestPoolWorkerHermeticRule:
+    def _analyze(self, tmp_path, extra="pass", module="pool"):
+        files = {
+            "repro/__init__.py": "",
+            "repro/experiments/__init__.py": "",
+            f"repro/experiments/{module}.py":
+                POOL_HERMETIC_MODULE.format(extra=extra),
+        }
+        root = write_tree(tmp_path, files)
+        return [v for v in rpr6(analyze_project(root / "repro",
+                                                package="repro"))
+                if v.rule_id == "RPR608"]
+
+    def test_derived_seed_worker_is_clean(self, tmp_path):
+        assert self._analyze(tmp_path) == []
+
+    def test_ambient_rng_fires(self, tmp_path):
+        hits = self._analyze(tmp_path, extra="x = np.random.rand()")
+        assert len(hits) == 1
+        assert "global-numpy" in hits[0].message
+        assert "run_cell" in hits[0].message
+        assert "_execute_cell" in hits[0].message or \
+            "_worker_main" in hits[0].message
+
+    def test_wall_clock_fires_monotonic_does_not(self, tmp_path):
+        hits = self._analyze(tmp_path, extra="t = time.time()")
+        assert len(hits) == 1 and "time.time" in hits[0].message
+        assert self._analyze(tmp_path / "mono",
+                             extra="t = time.perf_counter()") == []
+
+    def test_env_read_fires(self, tmp_path):
+        hits = self._analyze(tmp_path, extra='flag = os.getenv("FLAG")')
+        assert len(hits) == 1 and "os.getenv" in hits[0].message
+
+    def test_own_noqa_suppresses_at_origin(self, tmp_path):
+        assert self._analyze(
+            tmp_path,
+            extra="t = time.time()  # repro: noqa[pool-worker-hermetic]",
+        ) == []
+
+    def test_sanctioned_base_slug_not_reflagged(self, tmp_path):
+        # a site individually justified under the base rule's slug
+        # (the style used by the observability feature gates) must not
+        # need a second, RPR608-specific suppression
+        assert self._analyze(
+            tmp_path,
+            extra='flag = os.getenv("FLAG")  # repro: noqa[ambient-env-read]',
+        ) == []
+
+    def test_silent_outside_pool_modules(self, tmp_path):
+        # same shape, different module name: not a pool module
+        assert self._analyze(tmp_path, extra="x = np.random.rand()",
+                             module="grid") == []
+
+
 # -- real-tree acceptance properties -------------------------------------------
 
 class TestRealTree:

@@ -418,3 +418,60 @@ class TestEffectsReportCLI:
                    str(tmp_path / "nowhere")])
         assert rc == 2
         assert "not a directory" in capsys.readouterr().err
+
+
+class TestSweepCLI:
+    def test_selftest_sweep_exits_zero(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        rc = main(["sweep", "selftest", "--store", str(store),
+                   "--seed", "7", "--param", "cells=4"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "sweep: 4/4 cells complete" in err
+        assert "digest" in err
+        assert (store / "rollup.json").exists()
+
+    def test_rerun_requires_resume_flag(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        args = ["sweep", "selftest", "--store", str(store),
+                "--param", "cells=2"]
+        assert main(args) == 0
+        capsys.readouterr()
+        rc = main(args)
+        assert rc == 2
+        assert "resume" in capsys.readouterr().err
+        rc = main(args + ["--resume"])
+        assert rc == 0
+        assert "(2 resumed" in capsys.readouterr().err
+
+    def test_bad_param_exits_two(self, tmp_path, capsys):
+        rc = main(["sweep", "selftest", "--store", str(tmp_path / "s"),
+                   "--param", "no-equals-sign"])
+        assert rc == 2
+        assert "bad sweep spec" in capsys.readouterr().err
+
+    def test_faults_rejected_for_non_faultsweep(self, tmp_path, capsys):
+        rc = main(["sweep", "selftest", "--store", str(tmp_path / "s"),
+                   "--faults", "mtbf=2000,seed=0"])
+        assert rc == 2
+        assert "faultsweep" in capsys.readouterr().err
+
+    def test_quarantined_cell_exits_three(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        rc = main(["sweep", "selftest", "--store", str(store),
+                   "--param", "cells=3", "--param", "fail=[1]",
+                   "--retries", "0"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "sweep: 2/3 cells complete" in err
+        assert "quarantined" in err and "RuntimeError" in err
+
+    def test_faultsweep_sweep_renders_report(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        rc = main(["sweep", "faultsweep", "--store", str(store),
+                   "--workers", "2",
+                   "--param", 'policies=["FCFS"]',
+                   "--param", "mtbf_grid=[0.0]"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FCFS" in out

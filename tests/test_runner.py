@@ -46,6 +46,31 @@ class TestCombinedReport:
         assert "alpha body" in text and "beta body" in text
         assert "scale: tiny" in text
 
+    def test_missing_expected_cell_renders_quarantined(self):
+        text = combined_report({"a": "alpha body"}, "tiny",
+                               expected=["a", "b"])
+        assert "[a]" in text and "alpha body" in text
+        assert "[b] QUARANTINED — no result recorded" in text
+        assert "1 of 2 experiment(s) quarantined" in text
+        assert "partial" in text
+
+    def test_failure_reason_is_rendered(self):
+        text = combined_report(
+            {"a": "alpha body"}, "tiny", expected=["a", "b"],
+            failures={"b": "CellTimeout"})
+        assert "[b] QUARANTINED — CellTimeout" in text
+        assert "--resume" in text
+
+    def test_failure_outside_expected_still_listed(self):
+        text = combined_report({}, "tiny", failures={"c": "ValueError"})
+        assert "[c] QUARANTINED — ValueError" in text
+
+    def test_complete_report_has_no_partial_trailer(self):
+        text = combined_report({"a": "x", "b": "y"}, "tiny",
+                               expected=["a", "b"])
+        assert "QUARANTINED" not in text
+        assert "partial" not in text
+
 
 class TestCLIAll:
     def test_reproduce_all_subset_via_runner(self, capsys):
